@@ -1,0 +1,101 @@
+// Command psdb loads an OPS5-subset production program and runs it
+// against the DBMS-backed matchers.
+//
+// Usage:
+//
+//	psdb [flags] program.ops
+//
+// Flags select the matching algorithm (-matcher), the conflict-resolution
+// strategy (-strategy), serial or concurrent execution (-concurrent,
+// -workers), and what to print afterwards (-wm, -conflict, -stats).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prodsys"
+)
+
+func main() {
+	matcher := flag.String("matcher", "core", "matching algorithm: rete|requery|core|core-parallel|marker|ptree")
+	strategy := flag.String("strategy", "fifo", "conflict resolution: fifo|lex|priority|random")
+	seed := flag.Int64("seed", 1, "seed for the random strategy")
+	concurrent := flag.Bool("concurrent", false, "fire applicable rules concurrently as transactions (§5)")
+	workers := flag.Int("workers", 4, "concurrent executor pool size")
+	max := flag.Int("max", 10000, "firing cap")
+	setAtATime := flag.Bool("set-at-a-time", false, "fire all eligible instantiations of the selected rule per cycle (§5.1)")
+	showWM := flag.Bool("wm", true, "print final working memory")
+	showCS := flag.Bool("conflict", false, "print the final conflict set")
+	showStats := flag.Bool("stats", false, "print operation counters")
+	loadWM := flag.String("load", "", "restore working memory from a dump file before running")
+	saveWM := flag.String("save", "", "dump working memory to a file after running")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psdb [flags] program.ops")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	sys, err := prodsys.LoadFile(flag.Arg(0), prodsys.Options{
+		Matcher:    prodsys.Matcher(*matcher),
+		Strategy:   *strategy,
+		Seed:       *seed,
+		Workers:    *workers,
+		MaxFirings: *max,
+		SetAtATime: *setAtATime,
+		Out:        os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psdb:", err)
+		os.Exit(1)
+	}
+
+	if *loadWM != "" {
+		if err := sys.RestoreWMFile(*loadWM); err != nil {
+			fmt.Fprintln(os.Stderr, "psdb:", err)
+			os.Exit(1)
+		}
+	}
+
+	var res prodsys.Result
+	if *concurrent {
+		res, err = sys.RunConcurrent()
+	} else {
+		res, err = sys.Run()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psdb:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("; %d firings, %d cycles", res.Firings, res.Cycles)
+	if *concurrent {
+		fmt.Printf(", %d aborts", res.Aborts)
+	}
+	if res.Halted {
+		fmt.Printf(", halted")
+	}
+	fmt.Println()
+
+	if *showWM {
+		fmt.Println("; final working memory:")
+		fmt.Println(sys.WM())
+	}
+	if *showCS {
+		fmt.Println("; conflict set:")
+		for _, k := range sys.ConflictKeys() {
+			fmt.Println(";  ", k)
+		}
+	}
+	if *showStats {
+		fmt.Println("; statistics:")
+		fmt.Print(prodsys.FormatStats(sys.Stats()))
+	}
+	if *saveWM != "" {
+		if err := sys.SaveWMFile(*saveWM); err != nil {
+			fmt.Fprintln(os.Stderr, "psdb:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Monkey and bananas: the classic OPS5 means-ends planning program. The
+// monkey must walk to the ladder, push it under the bananas, climb, and
+// grab — each step a production firing, the whole plan emerging from the
+// recognize-act cycle (§2.1) with rule-order priority as the conflict
+// resolution strategy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"prodsys"
+)
+
+const program = `
+(literalize Monkey at on holds)
+(literalize Thing name at)
+(literalize Goal want status)
+
+; Terminal: the goal is satisfied.
+(p done
+    (Goal ^want bananas ^status active)
+    (Monkey ^holds bananas)
+  -->
+    (modify 1 ^status satisfied)
+    (write the monkey is holding the bananas)
+    (halt))
+
+; On the ladder under the bananas: grab them.
+(p grab
+    (Goal ^want bananas ^status active)
+    (Monkey ^at <p> ^on ladder ^holds nothing)
+    (Thing ^name bananas ^at <p>)
+  -->
+    (modify 2 ^holds bananas)
+    (write grab the bananas at <p>))
+
+; Ladder and bananas in the same place, monkey on the floor there: climb.
+(p climb
+    (Goal ^want bananas ^status active)
+    (Monkey ^at <p> ^on floor)
+    (Thing ^name ladder ^at <p>)
+    (Thing ^name bananas ^at <p>)
+  -->
+    (modify 2 ^on ladder)
+    (write climb the ladder at <p>))
+
+; Monkey at the ladder but bananas elsewhere: push the ladder there.
+(p push-ladder
+    (Goal ^want bananas ^status active)
+    (Monkey ^at <p> ^on floor ^holds nothing)
+    (Thing ^name ladder ^at <p>)
+    (Thing ^name bananas ^at {<b> <> <p>})
+  -->
+    (modify 2 ^at <b>)
+    (modify 3 ^at <b>)
+    (write push the ladder from <p> to <b>))
+
+; Monkey away from the ladder: walk to it.
+(p walk-to-ladder
+    (Goal ^want bananas ^status active)
+    (Monkey ^at <p> ^on floor)
+    (Thing ^name ladder ^at {<q> <> <p>})
+  -->
+    (modify 2 ^at <q>)
+    (write walk from <p> to <q>))
+
+; Initial state: monkey in the corner, ladder by the window, bananas at
+; the centre of the room.
+(Monkey corner floor nothing)
+(Thing ladder window)
+(Thing bananas centre)
+(Goal bananas active)
+`
+
+func main() {
+	sys, err := prodsys.Load(program, prodsys.Options{
+		Strategy: "priority", // rule order encodes the means-ends preference
+		Out:      os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:")
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsolved in %d firings (halted=%v)\n\nfinal state:\n%s\n", res.Firings, res.Halted, sys.WM())
+}

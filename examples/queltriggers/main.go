@@ -1,0 +1,69 @@
+// Queltriggers: the paper's §2.3 QUEL scenario, executable as written.
+// An ALWAYS-tagged replace command becomes a trigger — compiled into a
+// production and maintained by the match machinery — so Mike's salary
+// tracks Sam's through every subsequent update.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"prodsys"
+)
+
+const script = `
+create Emp (name, salary, dno)
+create Dept (dno, dname, floor)
+range of E is Emp
+range of D is Dept
+
+# "a trigger that forces Mike's salary to always be equal to Sam's
+#  salary" (paper §2.3):
+replace ALWAYS Emp (salary = E.salary)
+    where Emp.name = "Mike" and E.name = "Sam"
+
+# Rogue rows are purged on sight.
+delete ALWAYS E where E.salary < 0
+
+append to Dept (dno = 1, dname = "Toy", floor = 1)
+append to Emp (name = "Sam",  salary = 900, dno = 1)
+append to Emp (name = "Mike", salary = 500, dno = 1)
+append to Emp (name = "Ann",  salary = 800, dno = 1)
+`
+
+func main() {
+	sys, err := prodsys.LoadQuel(script, "", prodsys.Options{Out: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(when string) {
+		r, err := sys.Quel(`retrieve (E.name, E.salary)`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", when)
+		for _, row := range r.Rows {
+			fmt.Printf("    %-6s %s\n", row[0], row[1])
+		}
+	}
+
+	show("after loading (the trigger already equalized Mike to Sam)")
+
+	fmt.Println("\n>> replace E (salary = 1000) where E.name = \"Sam\"")
+	upd, err := sys.Quel(`replace E (salary = 1000) where E.name = "Sam"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   %d tuple(s) replaced, %d trigger firing(s)\n\n", upd.Affected, upd.Fired)
+	show("after Sam's raise")
+
+	fmt.Println("\n>> append to Emp (name = \"Oops\", salary = -50, dno = 1)")
+	upd, err = sys.Quel(`append to Emp (name = "Oops", salary = -50, dno = 1)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   appended, %d trigger firing(s) (the delete ALWAYS purged it)\n\n", upd.Fired)
+	show("after the rogue insert")
+}

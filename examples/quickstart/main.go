@@ -1,0 +1,53 @@
+// Quickstart: load an OPS5-subset production program, run the
+// recognize-act cycle, and inspect working memory — the "Mike earns more
+// than his manager" rule of the paper's Example 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prodsys"
+)
+
+const program = `
+; Working-memory classes (the paper's literalize declarations, §3.2).
+(literalize Emp name salary manager)
+
+; Delete any employee who earns more than their manager (Example 3, R1).
+(p overpaid
+    (Emp ^name <N> ^salary <S> ^manager <M>)
+    (Emp ^name <M> ^salary {<S1> < <S>})
+  -->
+    (write firing: <N> earns <S> but manager <M> earns <S1>)
+    (remove 1))
+
+; Initial facts.
+(Emp Mike 1000 Sam)
+(Emp Sam   900 Pat)
+(Emp Pat  2000 none)
+`
+
+func main() {
+	// The default matcher is the paper's matching-pattern algorithm
+	// (§4.2); try prodsys.MatcherRete or prodsys.MatcherRequery to swap
+	// algorithms without changing anything else.
+	sys, err := prodsys.Load(program, prodsys.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("conflict set before running:", sys.ConflictKeys())
+
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fired %d rule(s) in %d cycle(s)\n\n", res.Firings, res.Cycles)
+
+	fmt.Println("final working memory:")
+	fmt.Println(sys.WM())
+
+	fmt.Println("\nmatch statistics:")
+	fmt.Print(prodsys.FormatStats(sys.Stats(), "pattern", "rule_", "tuples_"))
+}

@@ -1,0 +1,59 @@
+// Rulequery: querying the rulebase itself through the Predicate Indexing
+// R-tree — the paper's example "give me all the rules that apply on
+// employees older than 55" (§4.2.3), which schemes storing rule
+// information with the data (POSTGRES markers) cannot answer.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"prodsys"
+)
+
+const program = `
+(literalize Emp name age salary dno)
+(literalize Dept dno dname)
+
+(p retirement-planning (Emp ^age > 55) --> (halt))
+(p early-career        (Emp ^age < 30 ^salary < 3000) --> (halt))
+(p mid-band            (Emp ^age > 40 ^age < 50) --> (halt))
+(p toy-audit           (Emp ^dno <d>) (Dept ^dno <d> ^dname Toy) --> (halt))
+(p high-earners        (Emp ^salary > 9000) --> (halt))
+`
+
+func main() {
+	sys, err := prodsys.Load(program, prodsys.Options{
+		Matcher: prodsys.MatcherPTree,
+		Out:     io.Discard,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []struct {
+		desc        string
+		class, attr string
+		lo, hi      any
+	}{
+		{"rules that apply on employees older than 55", "Emp", "age", 55, nil},
+		{"rules touching ages 41..49", "Emp", "age", 41, 49},
+		{"rules touching salaries above 8000", "Emp", "salary", 8000, nil},
+		{"rules touching any employee age", "Emp", "age", nil, nil},
+	}
+	for _, q := range queries {
+		names, err := sys.RulebaseQuery(q.class, q.attr, q.lo, q.hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", q.desc)
+		for _, n := range names {
+			fmt.Println("   ", n)
+		}
+		fmt.Println()
+	}
+	fmt.Println("note: rules without a constant restriction on the queried")
+	fmt.Println("attribute (toy-audit, and high-earners on age) match every")
+	fmt.Println("range — their condition rectangle is unbounded there.")
+}

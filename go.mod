@@ -1,0 +1,3 @@
+module prodsys
+
+go 1.22

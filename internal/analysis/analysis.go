@@ -1,0 +1,219 @@
+// Package analysis computes the static rule-interaction graph underlying
+// §5.2's concurrency argument: when transaction T_i fires, which other
+// rules can it add to the conflict set (the Δadd_i sets) and which can it
+// delete (Δdel_i)? Two rules with no interaction commute — their firings
+// interleave freely — so the fraction of non-interacting pairs estimates
+// the concurrency available to the parallel executor (the benefit
+// estimates the paper attributes to [RASC87]).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prodsys/internal/lang"
+	"prodsys/internal/relation"
+	"prodsys/internal/rules"
+	"prodsys/internal/value"
+)
+
+// Effect describes how one rule's actions touch a class.
+type Effect struct {
+	Class string
+	// Inserts reports a make (or the insert half of a modify).
+	Inserts bool
+	// Deletes reports a remove (or the delete half of a modify).
+	Deletes bool
+	// Restrictions known statically about inserted tuples (constant
+	// assignments from make/modify), used to prune impossible enablings.
+	Consts []relation.Restriction
+}
+
+// effectsOf derives a rule's write effects per class.
+func effectsOf(r *rules.Rule) []Effect {
+	byClass := map[string]*Effect{}
+	get := func(class string) *Effect {
+		if e, ok := byClass[class]; ok {
+			return e
+		}
+		e := &Effect{Class: class}
+		byClass[class] = e
+		return e
+	}
+	for _, act := range r.Actions {
+		switch act.Kind {
+		case lang.ActMake:
+			e := get(act.Class)
+			e.Inserts = true
+			e.Consts = append(e.Consts, constAssigns(r, act, act.Class)...)
+		case lang.ActRemove:
+			get(r.CEs[act.CE-1].Class).Deletes = true
+		case lang.ActModify:
+			e := get(r.CEs[act.CE-1].Class)
+			e.Deletes = true
+			e.Inserts = true
+			e.Consts = append(e.Consts, constAssigns(r, act, e.Class)...)
+		}
+	}
+	out := make([]Effect, 0, len(byClass))
+	for _, e := range byClass {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// constAssigns extracts the constant attribute assignments of an action.
+func constAssigns(r *rules.Rule, act *lang.Action, class string) []relation.Restriction {
+	var out []relation.Restriction
+	for _, as := range act.Assigns {
+		if as.Term.Kind != lang.TermConst {
+			continue
+		}
+		// Position resolution needs the class schema; find it via any CE
+		// of the class or skip when unavailable.
+		pos := -1
+		for _, ce := range r.CEs {
+			if ce.Class == class {
+				if p, ok := ce.Schema.Pos(as.Attr); ok {
+					pos = p
+				}
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		out = append(out, relation.Restriction{Pos: pos, Op: value.OpEq, Val: as.Term.Val})
+	}
+	return out
+}
+
+// mayAffect reports whether an effect on a class can change the
+// satisfaction of the given condition element: a compatible insert
+// enables a positive CE and disables (blocks) a negated one; a delete
+// disables a positive CE and enables a negated one.
+func mayAffect(e Effect, ce *rules.CE) (enables, disables bool) {
+	if e.Class != ce.Class {
+		return false, false
+	}
+	// An insert whose constant assignments contradict the CE's constant
+	// restrictions can never match it.
+	insertCompatible := e.Inserts && !contradicts(e.Consts, ce.Consts)
+	if ce.Negated {
+		return e.Deletes, insertCompatible
+	}
+	return insertCompatible, e.Deletes
+}
+
+// contradicts reports whether the statically-known inserted values can
+// never satisfy the CE's constant restrictions (equality conflicts only;
+// anything uncertain counts as compatible).
+func contradicts(assigns, consts []relation.Restriction) bool {
+	for _, a := range assigns {
+		for _, c := range consts {
+			if a.Pos != c.Pos || c.Op != value.OpEq {
+				continue
+			}
+			if !value.Equal(a.Val, c.Val) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Interaction summarizes how rule A's firing can affect rule B.
+type Interaction struct {
+	Enables  bool // A's actions can add instantiations of B (Δadd)
+	Disables bool // A's actions can remove instantiations of B (Δdel)
+}
+
+// Graph is the rule-interaction matrix.
+type Graph struct {
+	Rules []*rules.Rule
+	// Edges[i][j] describes rule i's effect on rule j (i ≠ j; the
+	// self-edge is included because a rule can re-enable itself).
+	Edges [][]Interaction
+}
+
+// Build computes the interaction graph of a rule set.
+func Build(set *rules.Set) *Graph {
+	g := &Graph{Rules: set.Rules}
+	effects := make([][]Effect, len(set.Rules))
+	for i, r := range set.Rules {
+		effects[i] = effectsOf(r)
+	}
+	g.Edges = make([][]Interaction, len(set.Rules))
+	for i := range set.Rules {
+		g.Edges[i] = make([]Interaction, len(set.Rules))
+		for j, rb := range set.Rules {
+			var inter Interaction
+			for _, e := range effects[i] {
+				for _, ce := range rb.CEs {
+					en, dis := mayAffect(e, ce)
+					inter.Enables = inter.Enables || en
+					inter.Disables = inter.Disables || dis
+				}
+			}
+			g.Edges[i][j] = inter
+		}
+	}
+	return g
+}
+
+// Independent reports whether two rules commute: neither's firing can
+// enable or disable the other. Same-class insert-insert pairs commute
+// (each creates its own tuple), and delete conflicts are already covered
+// by the Δdel edges (a remove on a class disables every rule positively
+// dependent on it), so no separate write-write check is needed.
+func (g *Graph) Independent(i, j int) bool {
+	if i == j {
+		return false
+	}
+	a, b := g.Edges[i][j], g.Edges[j][i]
+	return !a.Enables && !a.Disables && !b.Enables && !b.Disables
+}
+
+// ConcurrencyPotential returns the fraction of distinct rule pairs that
+// are independent — a static estimate of how much the §5 concurrent
+// executor can interleave.
+func (g *Graph) ConcurrencyPotential() float64 {
+	n := len(g.Rules)
+	if n < 2 {
+		return 0
+	}
+	pairs, indep := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs++
+			if g.Independent(i, j) {
+				indep++
+			}
+		}
+	}
+	return float64(indep) / float64(pairs)
+}
+
+// String renders the interaction matrix.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for i, r := range g.Rules {
+		for j, s := range g.Rules {
+			e := g.Edges[i][j]
+			if !e.Enables && !e.Disables {
+				continue
+			}
+			verbs := []string{}
+			if e.Enables {
+				verbs = append(verbs, "enables")
+			}
+			if e.Disables {
+				verbs = append(verbs, "disables")
+			}
+			fmt.Fprintf(&b, "%s %s %s\n", r.Name, strings.Join(verbs, "+"), s.Name)
+		}
+	}
+	return b.String()
+}

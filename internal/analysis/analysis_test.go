@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"prodsys/internal/rules"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	set, _, err := rules.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(set)
+}
+
+func edge(t *testing.T, g *Graph, from, to string) Interaction {
+	t.Helper()
+	fi, ti := -1, -1
+	for i, r := range g.Rules {
+		if r.Name == from {
+			fi = i
+		}
+		if r.Name == to {
+			ti = i
+		}
+	}
+	if fi < 0 || ti < 0 {
+		t.Fatalf("rules %s/%s not found", from, to)
+	}
+	return g.Edges[fi][ti]
+}
+
+func TestEnablingThroughMake(t *testing.T) {
+	g := build(t, `
+(literalize A x)
+(literalize B x)
+(p producer (A ^x <v>) --> (make B ^x <v>))
+(p consumer (B ^x <v>) --> (remove 1))`)
+	e := edge(t, g, "producer", "consumer")
+	if !e.Enables || e.Disables {
+		t.Fatalf("producer→consumer = %+v", e)
+	}
+	back := edge(t, g, "consumer", "producer")
+	if back.Enables || back.Disables {
+		t.Fatalf("consumer→producer = %+v", back)
+	}
+}
+
+func TestDisablingThroughRemove(t *testing.T) {
+	g := build(t, `
+(literalize A x)
+(p eater (A ^x <v>) --> (remove 1))
+(p watcher (A ^x > 5) --> (halt))`)
+	e := edge(t, g, "eater", "watcher")
+	if !e.Disables {
+		t.Fatalf("eater should disable watcher: %+v", e)
+	}
+	// eater also disables itself (consumes its own support).
+	self := edge(t, g, "eater", "eater")
+	if !self.Disables {
+		t.Fatalf("self edge: %+v", self)
+	}
+}
+
+func TestNegationInvertsPolarity(t *testing.T) {
+	g := build(t, `
+(literalize A x)
+(literalize B x)
+(p maker (A ^x <v>) --> (make B ^x <v>))
+(p lonely (A ^x <v>) - (B ^x <v>) --> (halt))`)
+	e := edge(t, g, "maker", "lonely")
+	// Inserting B blocks lonely's negated CE: a disable.
+	if !e.Disables {
+		t.Fatalf("maker should disable lonely: %+v", e)
+	}
+	g2 := build(t, `
+(literalize A x)
+(literalize B x)
+(p remover (B ^x <v>) --> (remove 1))
+(p lonely (A ^x <v>) - (B ^x <v>) --> (halt))`)
+	e2 := edge(t, g2, "remover", "lonely")
+	// Deleting B can unblock lonely: an enable.
+	if !e2.Enables {
+		t.Fatalf("remover should enable lonely: %+v", e2)
+	}
+}
+
+func TestConstantContradictionPrunes(t *testing.T) {
+	g := build(t, `
+(literalize A tag x)
+(p redMaker (A ^tag seed ^x <v>) --> (make A ^tag red ^x <v>))
+(p blueWatcher (A ^tag blue) --> (halt))
+(p redWatcher (A ^tag red) --> (halt))`)
+	if e := edge(t, g, "redMaker", "blueWatcher"); e.Enables {
+		t.Fatalf("tag=red cannot enable a tag=blue condition: %+v", e)
+	}
+	if e := edge(t, g, "redMaker", "redWatcher"); !e.Enables {
+		t.Fatalf("tag=red must enable the red watcher: %+v", e)
+	}
+}
+
+func TestIndependenceAndPotential(t *testing.T) {
+	// Two rules on disjoint classes with disjoint writes: independent.
+	g := build(t, `
+(literalize A x)
+(literalize B x)
+(literalize DoneA x)
+(literalize DoneB x)
+(p pa (A ^x <v>) --> (remove 1) (make DoneA ^x <v>))
+(p pb (B ^x <v>) --> (remove 1) (make DoneB ^x <v>))`)
+	if !g.Independent(0, 1) {
+		t.Fatal("pa and pb should be independent")
+	}
+	if g.Independent(0, 0) {
+		t.Fatal("a rule is never independent of itself")
+	}
+	if got := g.ConcurrencyPotential(); got != 1.0 {
+		t.Fatalf("potential = %v, want 1.0", got)
+	}
+
+	// A shared insert-only target does not break independence: the two
+	// inserts create distinct tuples and commute.
+	g2 := build(t, `
+(literalize A x)
+(literalize B x)
+(literalize Done tag)
+(p pa (A ^x <v>) --> (remove 1) (make Done ^tag a))
+(p pb (B ^x <v>) --> (remove 1) (make Done ^tag b))`)
+	if !g2.Independent(0, 1) {
+		t.Fatal("insert-insert on Done should commute")
+	}
+	// But a shared *consumed* class does: both rules remove from A.
+	g3 := build(t, `
+(literalize A x)
+(p p1 (A ^x <v>) --> (remove 1))
+(p p2 (A ^x > 3) --> (remove 1))`)
+	if g3.Independent(0, 1) {
+		t.Fatal("rules consuming the same class must interact")
+	}
+	if got := g3.ConcurrencyPotential(); got != 0 {
+		t.Fatalf("potential = %v, want 0", got)
+	}
+}
+
+func TestPotentialSmallSets(t *testing.T) {
+	g := build(t, `(literalize A x) (p only (A ^x 1) --> (halt))`)
+	if g.ConcurrencyPotential() != 0 {
+		t.Fatal("single rule has no pairs")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := build(t, `
+(literalize A x)
+(literalize B x)
+(p producer (A ^x <v>) --> (make B ^x <v>))
+(p consumer (B ^x <v>) --> (remove 1))`)
+	out := g.String()
+	if !strings.Contains(out, "producer enables consumer") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "consumer disables consumer") {
+		t.Fatalf("self-disable missing:\n%s", out)
+	}
+}
+
+func TestModifyCountsAsBoth(t *testing.T) {
+	g := build(t, `
+(literalize A x)
+(p toggler (A ^x <v>) --> (modify 1 ^x 9))
+(p watcher (A ^x 9) --> (halt))`)
+	e := edge(t, g, "toggler", "watcher")
+	if !e.Enables || !e.Disables {
+		t.Fatalf("modify should both enable and disable: %+v", e)
+	}
+}

@@ -1,0 +1,601 @@
+// Package engine drives production-system execution: the recognize-act
+// cycle of §2.1 (Match, Select, Act) with two executors.
+//
+// The serial executor reproduces OPS5: one instantiation is selected per
+// cycle under a conflict-resolution strategy and its RHS actions run to
+// completion before the next Match.
+//
+// The concurrent executor implements the paper's proposal (§5.2): every
+// instantiation in the conflict set becomes a transaction; transactions
+// run on a pool of workers under strict two-phase locking over the WM
+// relations, with read locks on matched tuples, write locks on updated
+// tuples, relation-level read locks for negative dependence, and the
+// commit point deferred until the maintenance process (conflict-set
+// propagation) triggered by the transaction's updates completes.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"prodsys/internal/conflict"
+	"prodsys/internal/joiner"
+	"prodsys/internal/lang"
+	"prodsys/internal/lock"
+	"prodsys/internal/match"
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+	"prodsys/internal/rules"
+	"prodsys/internal/value"
+)
+
+// ErrStale marks a transaction whose supporting tuples vanished between
+// selection and lock acquisition.
+var ErrStale = errors.New("engine: instantiation stale")
+
+// ErrBlocked marks a transaction whose negated condition re-verification
+// (NOT EXISTS under a relation read lock) failed.
+var ErrBlocked = errors.New("engine: negated condition no longer satisfied")
+
+// Config tunes an Engine.
+type Config struct {
+	// Strategy selects among conflict-set instantiations in the serial
+	// executor. Defaults to conflict.FIFO.
+	Strategy conflict.Strategy
+	// MaxFirings caps rule firings as a runaway guard. 0 means 10000.
+	MaxFirings int
+	// Workers sizes the concurrent executor's pool. 0 means 4.
+	Workers int
+	// Out receives write-action output. nil discards it.
+	Out io.Writer
+	// CommitEarly releases a transaction's locks before the maintenance
+	// process finishes — the protocol violation the paper warns against.
+	// Only for the failure-injection experiments; breaks serializability.
+	CommitEarly bool
+	// SetAtATime makes the serial executor fire, in one cycle, every
+	// eligible instantiation of the selected rule — the set-oriented
+	// execution of §5.1 ("a selected production will execute
+	// simultaneously against all combinations of these sets of tuples").
+	// Instantiations invalidated by earlier members of the batch are
+	// skipped.
+	SetAtATime bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	Firings int
+	Cycles  int
+	Halted  bool
+	Aborts  int
+}
+
+// Engine couples a WM catalog, a matcher and an executor.
+type Engine struct {
+	set     *rules.Set
+	db      *relation.DB
+	matcher match.Matcher
+	cs      *conflict.Set
+	stats   *metrics.Set
+	locks   *lock.Manager
+	cfg     Config
+
+	// maintMu serializes WM+matcher maintenance: the matchers are
+	// sequential structures, exactly the paper's observation that update
+	// propagation is the non-interleavable portion of execution. Its
+	// critical sections are counted in metrics.SerialOps.
+	maintMu sync.Mutex
+	halted  atomic.Bool
+	nextTxn atomic.Uint64
+
+	// negClasses are the classes some rule is negatively dependent on;
+	// inserts into them take a relation-level write lock (§5.2).
+	negClasses map[string]bool
+
+	// funcs holds the Go callbacks reachable from call actions.
+	funcs map[string]CallFunc
+
+	// wmObserver, when set, is invoked after every WM change has been
+	// propagated to the matcher — the hook materialized views and external
+	// triggers attach to.
+	wmObserver func(inserted bool, class string, id relation.TupleID, t relation.Tuple)
+}
+
+// CallFunc is a Go procedure reachable from a rule's (call name args...)
+// action — OPS5's escape hatch "for calling general procedures" (§3.1).
+// The arguments are the action's terms resolved under the firing
+// instantiation's bindings.
+type CallFunc func(args []value.V) error
+
+// RegisterFunc makes fn callable from rule RHS call actions under the
+// given name. Registration must happen before running.
+func (e *Engine) RegisterFunc(name string, fn CallFunc) {
+	if e.funcs == nil {
+		e.funcs = make(map[string]CallFunc)
+	}
+	e.funcs[name] = fn
+}
+
+// SetWMObserver registers a callback invoked after each WM change
+// (insert: inserted=true; delete: inserted=false) under the maintenance
+// lock. The callback must not re-enter the engine.
+func (e *Engine) SetWMObserver(fn func(inserted bool, class string, id relation.TupleID, t relation.Tuple)) {
+	e.wmObserver = fn
+}
+
+// New builds an engine. The db must contain a relation per class
+// (rules.BuildDB). stats may be nil.
+func New(set *rules.Set, db *relation.DB, matcher match.Matcher, stats *metrics.Set, cfg Config) *Engine {
+	if cfg.Strategy == nil {
+		cfg.Strategy = conflict.FIFO{}
+	}
+	if cfg.MaxFirings == 0 {
+		cfg.MaxFirings = 10000
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	neg := map[string]bool{}
+	for _, r := range set.Rules {
+		for _, ce := range r.CEs {
+			if ce.Negated {
+				neg[ce.Class] = true
+			}
+		}
+	}
+	return &Engine{
+		set:        set,
+		db:         db,
+		matcher:    matcher,
+		cs:         matcher.ConflictSet(),
+		stats:      stats,
+		locks:      lock.NewManager(stats),
+		cfg:        cfg,
+		negClasses: neg,
+	}
+}
+
+// DB exposes the working-memory catalog.
+func (e *Engine) DB() *relation.DB { return e.db }
+
+// Matcher exposes the matcher.
+func (e *Engine) Matcher() match.Matcher { return e.matcher }
+
+// ConflictSet exposes the conflict set.
+func (e *Engine) ConflictSet() *conflict.Set { return e.cs }
+
+// Locks exposes the lock manager (for tests and experiments).
+func (e *Engine) Locks() *lock.Manager { return e.locks }
+
+// Assert inserts a WM element and runs the maintenance process. It is the
+// entry point for initial facts and for make actions.
+func (e *Engine) Assert(class string, t relation.Tuple) (relation.TupleID, error) {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	return e.assertLocked(class, t)
+}
+
+func (e *Engine) assertLocked(class string, t relation.Tuple) (relation.TupleID, error) {
+	rel, ok := e.db.Get(class)
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown class %s", class)
+	}
+	id, err := rel.Insert(t)
+	if err != nil {
+		return 0, err
+	}
+	stored, _ := rel.Get(id)
+	e.stats.Inc(metrics.SerialOps)
+	e.stats.Inc(metrics.Counter("updates_" + class))
+	if err := e.matcher.Insert(class, id, stored); err != nil {
+		return 0, err
+	}
+	if e.wmObserver != nil {
+		e.wmObserver(true, class, id, stored)
+	}
+	return id, nil
+}
+
+// Retract deletes a WM element and runs the maintenance process.
+func (e *Engine) Retract(class string, id relation.TupleID) error {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	return e.retractLocked(class, id)
+}
+
+func (e *Engine) retractLocked(class string, id relation.TupleID) error {
+	rel, ok := e.db.Get(class)
+	if !ok {
+		return fmt.Errorf("engine: unknown class %s", class)
+	}
+	t, err := rel.Delete(id)
+	if err != nil {
+		return err
+	}
+	e.stats.Inc(metrics.SerialOps)
+	e.stats.Inc(metrics.Counter("updates_" + class))
+	if err := e.matcher.Delete(class, id, t); err != nil {
+		return err
+	}
+	if e.wmObserver != nil {
+		e.wmObserver(false, class, id, t)
+	}
+	return nil
+}
+
+// LoadFacts asserts the facts of a parsed program.
+func (e *Engine) LoadFacts(prog *lang.Program) error {
+	for _, f := range prog.Facts {
+		class, tup, err := rules.FactTuple(e.set, f)
+		if err != nil {
+			return err
+		}
+		if _, err := e.Assert(class, tup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyActions interprets the RHS of a fired instantiation. When lockedMu
+// is true the caller already holds maintMu (concurrent executor inside
+// its commit-scope). Returns whether a halt action ran.
+func (e *Engine) applyActions(in *conflict.Instantiation, lockedMu bool) (bool, error) {
+	assert := e.Assert
+	retract := e.Retract
+	if lockedMu {
+		assert = e.assertLocked
+		retract = e.retractLocked
+	}
+	b := in.Bindings.Clone()
+	halted := false
+	for _, act := range in.Rule.Actions {
+		switch act.Kind {
+		case lang.ActMake:
+			schema := e.set.Classes[act.Class]
+			t := make(relation.Tuple, schema.Arity())
+			for _, as := range act.Assigns {
+				pos, _ := schema.Pos(as.Attr)
+				v, err := rules.ResolveTerm(as.Term, b)
+				if err != nil {
+					return halted, fmt.Errorf("rule %s make: %w", in.Rule.Name, err)
+				}
+				t[pos] = v
+			}
+			if _, err := assert(act.Class, t); err != nil {
+				return halted, err
+			}
+		case lang.ActRemove:
+			ceIdx := act.CE - 1
+			id := in.TupleIDs[ceIdx]
+			class := in.Rule.CEs[ceIdx].Class
+			if err := retract(class, id); err != nil {
+				// The element may already be gone (removed twice by one
+				// RHS, or by a concurrent transaction); OPS5 ignores this.
+				continue
+			}
+		case lang.ActModify:
+			ceIdx := act.CE - 1
+			id := in.TupleIDs[ceIdx]
+			class := in.Rule.CEs[ceIdx].Class
+			rel := e.db.MustGet(class)
+			old, ok := rel.Get(id)
+			if !ok {
+				continue
+			}
+			t := old.Clone()
+			for _, as := range act.Assigns {
+				pos, _ := in.Rule.CEs[ceIdx].Schema.Pos(as.Attr)
+				v, err := rules.ResolveTerm(as.Term, b)
+				if err != nil {
+					return halted, fmt.Errorf("rule %s modify: %w", in.Rule.Name, err)
+				}
+				t[pos] = v
+			}
+			// A modification is a deletion followed by an insertion (§3.1).
+			if err := retract(class, id); err != nil {
+				continue
+			}
+			if _, err := assert(class, t); err != nil {
+				return halted, err
+			}
+		case lang.ActWrite:
+			if e.cfg.Out != nil {
+				parts := make([]string, 0, len(act.Args))
+				for _, arg := range act.Args {
+					v, err := rules.ResolveTerm(arg, b)
+					if err != nil {
+						return halted, fmt.Errorf("rule %s write: %w", in.Rule.Name, err)
+					}
+					parts = append(parts, v.String())
+				}
+				fmt.Fprintln(e.cfg.Out, strings.Join(parts, " "))
+			}
+		case lang.ActBind:
+			v, err := rules.ResolveTerm(act.Term, b)
+			if err != nil {
+				return halted, fmt.Errorf("rule %s bind: %w", in.Rule.Name, err)
+			}
+			b[act.Var] = v
+		case lang.ActCall:
+			fn, ok := e.funcs[act.Func]
+			if !ok {
+				return halted, fmt.Errorf("rule %s: call of unregistered function %q", in.Rule.Name, act.Func)
+			}
+			args := make([]value.V, len(act.Args))
+			for i, arg := range act.Args {
+				v, err := rules.ResolveTerm(arg, b)
+				if err != nil {
+					return halted, fmt.Errorf("rule %s call %s: %w", in.Rule.Name, act.Func, err)
+				}
+				args[i] = v
+			}
+			if err := fn(args); err != nil {
+				return halted, fmt.Errorf("rule %s call %s: %w", in.Rule.Name, act.Func, err)
+			}
+		case lang.ActHalt:
+			halted = true
+			e.halted.Store(true)
+		}
+	}
+	return halted, nil
+}
+
+// ApplyForExploration fires one instantiation's actions immediately,
+// outside any executor and without locking — the primitive the
+// experiment harness uses to exhaustively enumerate serial schedules
+// (every possible Select choice of §2.1).
+func (e *Engine) ApplyForExploration(in *conflict.Instantiation) (halted bool, err error) {
+	return e.applyActions(in, false)
+}
+
+// RunSerial executes the OPS5 recognize-act cycle: Match (incremental,
+// already maintained), Select one instantiation, Act, repeat until the
+// conflict set empties, a halt fires, or the firing cap is reached.
+func (e *Engine) RunSerial() (Result, error) {
+	var res Result
+	e.halted.Store(false)
+	for res.Firings < e.cfg.MaxFirings {
+		in := e.cs.Select(e.cfg.Strategy)
+		if in == nil {
+			return res, nil
+		}
+		res.Cycles++
+		batch := []*conflict.Instantiation{in}
+		if e.cfg.SetAtATime {
+			for _, other := range e.cs.SelectAll() {
+				if other.Rule == in.Rule && other.Key() != in.Key() {
+					batch = append(batch, other)
+				}
+			}
+		}
+		for _, bi := range batch {
+			if e.cs.HasFired(bi.Key()) {
+				continue
+			}
+			if bi != in && !e.cs.Contains(bi.Key()) {
+				continue // retracted by an earlier member of the batch
+			}
+			e.cs.MarkFired(bi.Key())
+			halted, err := e.applyActions(bi, false)
+			if err != nil {
+				return res, err
+			}
+			res.Firings++
+			e.stats.Inc(metrics.RuleFirings)
+			if halted {
+				res.Halted = true
+				return res, nil
+			}
+			if res.Firings >= e.cfg.MaxFirings {
+				break
+			}
+		}
+	}
+	return res, fmt.Errorf("engine: firing cap %d reached", e.cfg.MaxFirings)
+}
+
+// lockPlan computes the 2PL acquisition list for one instantiation, in a
+// deterministic global order (reducing, not eliminating, deadlocks).
+type lockReq struct {
+	tgt  lock.Target
+	mode lock.Mode
+}
+
+func (e *Engine) lockPlan(in *conflict.Instantiation) []lockReq {
+	modes := map[lock.Target]lock.Mode{}
+	want := func(tgt lock.Target, mode lock.Mode) {
+		if cur, ok := modes[tgt]; !ok || (cur == lock.Shared && mode == lock.Exclusive) {
+			modes[tgt] = mode
+		}
+	}
+	// Read locks on every matched tuple (§5.2).
+	for i, ce := range in.Rule.CEs {
+		if ce.Negated {
+			// Negative dependence: relation-level read lock.
+			want(lock.RelationTarget(ce.Class), lock.Shared)
+			continue
+		}
+		want(lock.TupleTarget(ce.Class, in.TupleIDs[i]), lock.Shared)
+	}
+	for _, act := range in.Rule.Actions {
+		switch act.Kind {
+		case lang.ActRemove, lang.ActModify:
+			ce := in.Rule.CEs[act.CE-1]
+			want(lock.TupleTarget(ce.Class, in.TupleIDs[act.CE-1]), lock.Exclusive)
+			if e.negClasses[ce.Class] {
+				// Deletions also change NOT EXISTS results.
+				want(lock.RelationTarget(ce.Class), lock.Exclusive)
+			}
+			if act.Kind == lang.ActModify && e.negClasses[ce.Class] {
+				want(lock.RelationTarget(ce.Class), lock.Exclusive)
+			}
+		case lang.ActMake:
+			if e.negClasses[act.Class] {
+				// "T_j will always need a write lock on R_i before it can
+				// be executed" for inserts into negatively depended-upon
+				// relations (the phantom side of §5.2).
+				want(lock.RelationTarget(act.Class), lock.Exclusive)
+			}
+		}
+	}
+	plan := make([]lockReq, 0, len(modes))
+	for tgt, mode := range modes {
+		plan = append(plan, lockReq{tgt: tgt, mode: mode})
+	}
+	sort.Slice(plan, func(i, j int) bool { return plan[i].tgt.String() < plan[j].tgt.String() })
+	return plan
+}
+
+// runTxn executes one instantiation as a transaction: acquire locks,
+// validate, act, complete maintenance, commit (release). The returned
+// error classifies aborts.
+func (e *Engine) runTxn(in *conflict.Instantiation) error {
+	txn := lock.TxnID(e.nextTxn.Add(1))
+	plan := e.lockPlan(in)
+	for _, req := range plan {
+		if err := e.locks.Acquire(txn, req.tgt, req.mode); err != nil {
+			e.locks.Release(txn)
+			return err // deadlock victim
+		}
+	}
+	commit := func() { e.locks.Release(txn) }
+	if e.cfg.CommitEarly {
+		// Protocol violation: release locks before acting/maintaining.
+		commit()
+		commit = func() {}
+	}
+
+	// Validation: matched tuples must still exist; negated conditions
+	// must still be NOT EXISTS (checked under the relation read lock).
+	for i, ce := range in.Rule.CEs {
+		if ce.Negated {
+			if joiner.Exists(e.db, ce, in.Bindings, e.stats) {
+				commit()
+				e.stats.Inc(metrics.TxnAborts)
+				return ErrBlocked
+			}
+			continue
+		}
+		cur, ok := e.db.MustGet(ce.Class).Get(in.TupleIDs[i])
+		if !ok || !cur.Equal(in.Tuples[i]) {
+			commit()
+			e.stats.Inc(metrics.TxnAborts)
+			return ErrStale
+		}
+	}
+
+	// Act + maintenance inside the serialized maintenance section; the
+	// commit point comes only after the maintenance completes (§5.2).
+	e.maintMu.Lock()
+	if e.cs.HasFired(in.Key()) {
+		e.maintMu.Unlock()
+		commit()
+		e.stats.Inc(metrics.TxnAborts)
+		return ErrStale
+	}
+	e.cs.MarkFired(in.Key())
+	_, err := e.applyActions(in, true)
+	e.maintMu.Unlock()
+	commit()
+	if err != nil {
+		return err
+	}
+	e.stats.Inc(metrics.RuleFirings)
+	e.stats.Inc(metrics.TxnCommits)
+	return nil
+}
+
+// RunConcurrent executes the conflict set in rounds: each round takes the
+// current applicable set Ψ and fires every member as a transaction on the
+// worker pool; the next round sees the conflict set produced by those
+// firings (Ψ' of §5.2). Stale and blocked transactions abort harmlessly.
+func (e *Engine) RunConcurrent() (Result, error) {
+	var res Result
+	e.halted.Store(false)
+	var firstErr error
+	var errMu sync.Mutex
+	for res.Firings < e.cfg.MaxFirings {
+		if e.halted.Load() {
+			res.Halted = true
+			return res, nil
+		}
+		batch := e.cs.SelectAll()
+		if len(batch) == 0 {
+			return res, nil
+		}
+		if len(batch) > e.cfg.MaxFirings-res.Firings {
+			batch = batch[:e.cfg.MaxFirings-res.Firings]
+		}
+		res.Cycles++
+		var fired, aborted atomic.Int64
+		work := make(chan *conflict.Instantiation)
+		var wg sync.WaitGroup
+		for w := 0; w < e.cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for in := range work {
+					if e.halted.Load() {
+						continue
+					}
+					err := e.runTxn(in)
+					switch {
+					case err == nil:
+						fired.Add(1)
+					case errors.Is(err, ErrStale), errors.Is(err, ErrBlocked), errors.Is(err, lock.ErrAborted):
+						aborted.Add(1)
+					default:
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					}
+				}
+			}()
+		}
+		for _, in := range batch {
+			work <- in
+		}
+		close(work)
+		wg.Wait()
+		if firstErr != nil {
+			return res, firstErr
+		}
+		res.Firings += int(fired.Load())
+		res.Aborts += int(aborted.Load())
+		if fired.Load() == 0 && aborted.Load() == 0 {
+			return res, nil
+		}
+		if fired.Load() == 0 {
+			// Every member aborted (stale or blocked). Their retraction is
+			// handled by maintenance; if the conflict set did not change,
+			// stop rather than spin.
+			remaining := e.cs.SelectAll()
+			if len(remaining) == len(batch) {
+				return res, nil
+			}
+		}
+	}
+	return res, fmt.Errorf("engine: firing cap %d reached", e.cfg.MaxFirings)
+}
+
+// SnapshotWM renders the whole working memory canonically: one line per
+// live tuple, sorted — the state-equivalence test of §5.2 compares these.
+func (e *Engine) SnapshotWM() string {
+	var lines []string
+	for _, name := range e.db.Names() {
+		rel := e.db.MustGet(name)
+		rel.Scan(func(_ relation.TupleID, t relation.Tuple) bool {
+			lines = append(lines, name+t.String())
+			return true
+		})
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,203 @@
+package joiner
+
+import (
+	"testing"
+
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+	"prodsys/internal/rules"
+	"prodsys/internal/value"
+)
+
+const src = `
+(literalize Emp name salary dno)
+(literalize Dept dno dname)
+(p Toy (Emp ^name <n> ^dno <d>) (Dept ^dno <d> ^dname Toy) --> (remove 1))
+(p Lonely (Emp ^name <n> ^dno <d>) - (Dept ^dno <d>) --> (halt))
+`
+
+type fixture struct {
+	set *rules.Set
+	db  *relation.DB
+	st  *metrics.Set
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	set, _, err := rules.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &metrics.Set{}
+	db := relation.NewDB(st)
+	if err := rules.BuildDB(set, db); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{set: set, db: db, st: st}
+}
+
+func (f *fixture) insert(t *testing.T, class string, vals ...value.V) relation.TupleID {
+	t.Helper()
+	id, err := f.db.MustGet(class).Insert(relation.Tuple(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func collect(f *fixture, ruleName string, fixed map[int]Fixed, seed rules.Bindings) []string {
+	r, _ := f.set.RuleByName(ruleName)
+	var out []string
+	Enumerate(f.db, r, fixed, seed, f.st, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+		key := ruleName
+		for _, id := range ids {
+			key += "|" + itoa(int(id))
+		}
+		out = append(out, key)
+	})
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	s := ""
+	for v > 0 {
+		s = string(rune('0'+v%10)) + s
+		v /= 10
+	}
+	return s
+}
+
+func TestEnumerateFull(t *testing.T) {
+	f := setup(t)
+	f.insert(t, "Emp", value.OfSym("Ann"), value.OfInt(100), value.OfInt(7))
+	f.insert(t, "Emp", value.OfSym("Bob"), value.OfInt(200), value.OfInt(7))
+	f.insert(t, "Dept", value.OfInt(7), value.OfSym("Toy"))
+	got := collect(f, "Toy", nil, nil)
+	if len(got) != 2 || got[0] != "Toy|1|1" || got[1] != "Toy|2|1" {
+		t.Fatalf("Enumerate = %v", got)
+	}
+}
+
+func TestEnumerateFixed(t *testing.T) {
+	f := setup(t)
+	f.insert(t, "Emp", value.OfSym("Ann"), value.OfInt(100), value.OfInt(7))
+	bob := f.insert(t, "Emp", value.OfSym("Bob"), value.OfInt(200), value.OfInt(7))
+	f.insert(t, "Dept", value.OfInt(7), value.OfSym("Toy"))
+	bobTup, _ := f.db.MustGet("Emp").Get(bob)
+	got := collect(f, "Toy", map[int]Fixed{0: {ID: bob, Tuple: bobTup}}, nil)
+	if len(got) != 1 || got[0] != "Toy|2|1" {
+		t.Fatalf("fixed Enumerate = %v", got)
+	}
+	// A pinned tuple failing its own condition yields nothing.
+	badTup := relation.Tuple{value.V{}, value.OfInt(1), value.OfInt(7)}
+	got = collect(f, "Toy", map[int]Fixed{0: {ID: 99, Tuple: badTup}}, nil)
+	if len(got) != 0 {
+		t.Fatalf("nil-name pinned tuple should not match: %v", got)
+	}
+}
+
+func TestEnumerateNegation(t *testing.T) {
+	f := setup(t)
+	f.insert(t, "Emp", value.OfSym("Ann"), value.OfInt(100), value.OfInt(7))
+	got := collect(f, "Lonely", nil, nil)
+	if len(got) != 1 || got[0] != "Lonely|1|0" {
+		t.Fatalf("no-dept should satisfy negation: %v", got)
+	}
+	f.insert(t, "Dept", value.OfInt(7), value.OfSym("Shoe"))
+	got = collect(f, "Lonely", nil, nil)
+	if len(got) != 0 {
+		t.Fatalf("dept 7 blocks Lonely: %v", got)
+	}
+	// Another employee in a dept with no relation row still qualifies.
+	f.insert(t, "Emp", value.OfSym("Cat"), value.OfInt(1), value.OfInt(9))
+	got = collect(f, "Lonely", nil, nil)
+	if len(got) != 1 || got[0] != "Lonely|2|0" {
+		t.Fatalf("Cat should be lonely: %v", got)
+	}
+}
+
+func TestEnumerateSeedBindings(t *testing.T) {
+	f := setup(t)
+	f.insert(t, "Emp", value.OfSym("Ann"), value.OfInt(100), value.OfInt(7))
+	f.insert(t, "Emp", value.OfSym("Bob"), value.OfInt(200), value.OfInt(8))
+	f.insert(t, "Dept", value.OfInt(7), value.OfSym("Toy"))
+	f.insert(t, "Dept", value.OfInt(8), value.OfSym("Toy"))
+	got := collect(f, "Toy", nil, rules.Bindings{"d": value.OfInt(8)})
+	if len(got) != 1 || got[0] != "Toy|2|2" {
+		t.Fatalf("seeded Enumerate = %v", got)
+	}
+}
+
+func TestEnumerateMissingClassRelation(t *testing.T) {
+	set, _, err := rules.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := relation.NewDB(nil) // empty catalog: no relations at all
+	r, _ := set.RuleByName("Toy")
+	count := 0
+	Enumerate(db, r, nil, nil, nil, func([]relation.TupleID, []relation.Tuple, rules.Bindings) { count++ })
+	if count != 0 {
+		t.Fatal("missing positive relation should yield nothing")
+	}
+	// Negated class missing ⇒ trivially satisfied.
+	lonely, _ := set.RuleByName("Lonely")
+	empOnly := relation.NewDB(nil)
+	empOnly.Create("Emp", "name", "salary", "dno")
+	empOnly.MustGet("Emp").Insert(relation.Tuple{value.OfSym("A"), value.OfInt(1), value.OfInt(2)})
+	count = 0
+	Enumerate(empOnly, lonely, nil, nil, nil, func([]relation.TupleID, []relation.Tuple, rules.Bindings) { count++ })
+	if count != 1 {
+		t.Fatalf("missing negated relation should satisfy NOT EXISTS, got %d", count)
+	}
+}
+
+func TestExists(t *testing.T) {
+	f := setup(t)
+	lonely, _ := f.set.RuleByName("Lonely")
+	negCE := lonely.CEs[1]
+	if Exists(f.db, negCE, rules.Bindings{"d": value.OfInt(7)}, f.st) {
+		t.Fatal("no dept yet")
+	}
+	f.insert(t, "Dept", value.OfInt(7), value.OfSym("Toy"))
+	if !Exists(f.db, negCE, rules.Bindings{"d": value.OfInt(7)}, f.st) {
+		t.Fatal("dept 7 exists")
+	}
+	if Exists(f.db, negCE, rules.Bindings{"d": value.OfInt(9)}, f.st) {
+		t.Fatal("dept 9 does not exist")
+	}
+	// Missing relation.
+	empty := relation.NewDB(nil)
+	if Exists(empty, negCE, nil, nil) {
+		t.Fatal("missing relation cannot contain a match")
+	}
+}
+
+func TestEnumerateEmitCopies(t *testing.T) {
+	// Emitted slices must not alias the recursion's scratch buffers.
+	f := setup(t)
+	f.insert(t, "Emp", value.OfSym("Ann"), value.OfInt(100), value.OfInt(7))
+	f.insert(t, "Emp", value.OfSym("Bob"), value.OfInt(200), value.OfInt(7))
+	f.insert(t, "Dept", value.OfInt(7), value.OfSym("Toy"))
+	r, _ := f.set.RuleByName("Toy")
+	var allIDs [][]relation.TupleID
+	Enumerate(f.db, r, nil, nil, f.st, func(ids []relation.TupleID, _ []relation.Tuple, _ rules.Bindings) {
+		allIDs = append(allIDs, ids)
+	})
+	if len(allIDs) != 2 || allIDs[0][0] == allIDs[1][0] {
+		t.Fatalf("emitted ids alias or wrong: %v", allIDs)
+	}
+}
+
+func TestJoinStepsCounted(t *testing.T) {
+	f := setup(t)
+	f.insert(t, "Emp", value.OfSym("Ann"), value.OfInt(100), value.OfInt(7))
+	before := f.st.Get(metrics.JoinsComputed)
+	collect(f, "Toy", nil, nil)
+	if f.st.Get(metrics.JoinsComputed) == before {
+		t.Fatal("join steps not counted")
+	}
+}

@@ -1,0 +1,256 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"prodsys/internal/value"
+)
+
+// TermKind classifies a term appearing in a condition element test, a
+// fact field, or an action argument.
+type TermKind uint8
+
+// Term kinds.
+const (
+	TermConst TermKind = iota // literal value
+	TermVar                   // <x>
+)
+
+// Term is a constant or a variable reference.
+type Term struct {
+	Kind TermKind
+	Val  value.V // valid when Kind == TermConst
+	Var  string  // valid when Kind == TermVar
+}
+
+// ConstTerm wraps a value as a constant term.
+func ConstTerm(v value.V) Term { return Term{Kind: TermConst, Val: v} }
+
+// VarTerm builds a variable term.
+func VarTerm(name string) Term { return Term{Kind: TermVar, Var: name} }
+
+// String renders the term in source syntax.
+func (t Term) String() string {
+	if t.Kind == TermVar {
+		return "<" + t.Var + ">"
+	}
+	return t.Val.String()
+}
+
+// TestAtom is one predicate within an attribute test: "op term", or a
+// value disjunction << v1 v2 ... >> (OPS5: the attribute must equal one
+// of the listed constants). The default operator is equality, which for
+// an unbound variable means binding.
+type TestAtom struct {
+	Op   value.Op
+	Term Term
+	// Disj, when non-empty, makes this atom a one-of test; Op and Term
+	// are ignored.
+	Disj []value.V
+}
+
+// String renders the atom in source syntax.
+func (a TestAtom) String() string {
+	if len(a.Disj) > 0 {
+		parts := make([]string, len(a.Disj))
+		for i, v := range a.Disj {
+			parts[i] = v.String()
+		}
+		return "<< " + strings.Join(parts, " ") + " >>"
+	}
+	if a.Op == value.OpEq {
+		return a.Term.String()
+	}
+	return a.Op.String() + " " + a.Term.String()
+}
+
+// AttrTest constrains one attribute of a condition element. Multiple
+// atoms (from a { ... } group) are a conjunction.
+type AttrTest struct {
+	Attr  string
+	Atoms []TestAtom
+}
+
+// String renders the test in source syntax.
+func (at AttrTest) String() string {
+	parts := make([]string, len(at.Atoms))
+	for i, a := range at.Atoms {
+		parts[i] = a.String()
+	}
+	if len(at.Atoms) == 1 {
+		return "^" + at.Attr + " " + parts[0]
+	}
+	return "^" + at.Attr + " {" + strings.Join(parts, " ") + "}"
+}
+
+// CondElem is one condition element of a production LHS: a class name,
+// an optional negation, and attribute tests.
+type CondElem struct {
+	Class   string
+	Negated bool
+	Tests   []AttrTest
+	Line    int
+}
+
+// String renders the condition element in source syntax.
+func (ce *CondElem) String() string {
+	var b strings.Builder
+	if ce.Negated {
+		b.WriteString("- ")
+	}
+	b.WriteByte('(')
+	b.WriteString(ce.Class)
+	for _, t := range ce.Tests {
+		b.WriteByte(' ')
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ActionKind classifies RHS actions.
+type ActionKind uint8
+
+// The action kinds of the OPS5 subset.
+const (
+	ActMake   ActionKind = iota // (make Class ^attr term ...)
+	ActRemove                   // (remove n)
+	ActModify                   // (modify n ^attr term ...)
+	ActWrite                    // (write term ...)
+	ActBind                     // (bind <x> term)
+	ActHalt                     // (halt)
+	ActCall                     // (call name term ...)
+)
+
+// String names the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActMake:
+		return "make"
+	case ActRemove:
+		return "remove"
+	case ActModify:
+		return "modify"
+	case ActWrite:
+		return "write"
+	case ActBind:
+		return "bind"
+	case ActHalt:
+		return "halt"
+	case ActCall:
+		return "call"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", uint8(k))
+	}
+}
+
+// FieldAssign sets one attribute in a make or modify action.
+type FieldAssign struct {
+	Attr string
+	Term Term
+}
+
+// Action is one RHS action.
+type Action struct {
+	Kind    ActionKind
+	Class   string        // make
+	CE      int           // remove, modify: 1-based condition element number
+	Assigns []FieldAssign // make, modify
+	Args    []Term        // write
+	Var     string        // bind
+	Term    Term          // bind
+	Func    string        // call: registered function name
+	Line    int
+}
+
+// String renders the action in source syntax.
+func (a *Action) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(a.Kind.String())
+	switch a.Kind {
+	case ActMake:
+		b.WriteByte(' ')
+		b.WriteString(a.Class)
+		for _, as := range a.Assigns {
+			fmt.Fprintf(&b, " ^%s %s", as.Attr, as.Term)
+		}
+	case ActRemove:
+		fmt.Fprintf(&b, " %d", a.CE)
+	case ActModify:
+		fmt.Fprintf(&b, " %d", a.CE)
+		for _, as := range a.Assigns {
+			fmt.Fprintf(&b, " ^%s %s", as.Attr, as.Term)
+		}
+	case ActWrite:
+		for _, arg := range a.Args {
+			b.WriteByte(' ')
+			b.WriteString(arg.String())
+		}
+	case ActBind:
+		fmt.Fprintf(&b, " <%s> %s", a.Var, a.Term)
+	case ActCall:
+		b.WriteByte(' ')
+		b.WriteString(a.Func)
+		for _, arg := range a.Args {
+			b.WriteByte(' ')
+			b.WriteString(arg.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Production is a parsed rule: name, LHS condition elements, RHS actions.
+type Production struct {
+	Name string
+	LHS  []*CondElem
+	RHS  []*Action
+	Line int
+}
+
+// String renders the production in source syntax.
+func (p *Production) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(p %s", p.Name)
+	for _, ce := range p.LHS {
+		b.WriteString("\n    ")
+		b.WriteString(ce.String())
+	}
+	b.WriteString("\n  -->")
+	for _, a := range p.RHS {
+		b.WriteString("\n    ")
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Literalize declares a working-memory class and its attributes.
+type Literalize struct {
+	Class string
+	Attrs []string
+	Line  int
+}
+
+// String renders the declaration in source syntax.
+func (l *Literalize) String() string {
+	return "(literalize " + l.Class + " " + strings.Join(l.Attrs, " ") + ")"
+}
+
+// Fact is an initial working-memory element: either positional values or
+// ^attr assignments (unset attributes default to nil).
+type Fact struct {
+	Class      string
+	Positional []Term        // non-empty for positional form; constants only
+	Assigns    []FieldAssign // non-empty for attribute form
+	Line       int
+}
+
+// Program is a parsed source file.
+type Program struct {
+	Literalizes []*Literalize
+	Productions []*Production
+	Facts       []*Fact
+}

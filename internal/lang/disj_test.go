@@ -1,0 +1,70 @@
+package lang
+
+import (
+	"testing"
+
+	"prodsys/internal/value"
+)
+
+func TestLexDisjunctionTokens(t *testing.T) {
+	toks, err := LexAll(`<< red green >> >= >> <<`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokLDisj, TokSym, TokSym, TokRDisj, TokOp, TokRDisj, TokLDisj}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, toks[i].Kind, k, toks)
+		}
+	}
+	if TokLDisj.String() != "<<" || TokRDisj.String() != ">>" {
+		t.Error("token kind names")
+	}
+}
+
+func TestParseDisjunction(t *testing.T) {
+	prog, err := Parse(`
+(literalize Light color)
+(p stop (Light ^color << red amber >>) --> (halt))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atom := prog.Productions[0].LHS[0].Tests[0].Atoms[0]
+	if len(atom.Disj) != 2 || !value.Equal(atom.Disj[0], value.OfSym("red")) {
+		t.Fatalf("disjunction = %+v", atom)
+	}
+	// String round trip.
+	re, err := Parse(prog.Productions[0].String())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	back := re.Productions[0].LHS[0].Tests[0].Atoms[0]
+	if len(back.Disj) != 2 {
+		t.Fatalf("round trip lost disjunction: %+v", back)
+	}
+}
+
+func TestParseDisjunctionInBraceGroup(t *testing.T) {
+	prog, err := Parse(`
+(literalize A x)
+(p r (A ^x {<v> << 1 2 3 >>}) --> (halt))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := prog.Productions[0].LHS[0].Tests[0].Atoms
+	if len(atoms) != 2 || len(atoms[1].Disj) != 3 {
+		t.Fatalf("atoms = %+v", atoms)
+	}
+}
+
+func TestParseDisjunctionErrors(t *testing.T) {
+	if _, err := Parse(`(p r (A ^x << >>) --> (halt))`); err == nil {
+		t.Error("empty disjunction should fail")
+	}
+	if _, err := Parse(`(p r (A ^x << <v> >>) --> (halt))`); err == nil {
+		t.Error("variable in disjunction should fail")
+	}
+	if _, err := Parse(`(p r (A ^x << 1 2) --> (halt))`); err == nil {
+		t.Error("unterminated disjunction should fail")
+	}
+}

@@ -1,0 +1,439 @@
+// Package lang implements the OPS5-subset rule language used by the
+// paper's examples: literalize declarations, productions with
+// condition elements, variables, predicate groups, negated conditions,
+// and the make/remove/modify/write/bind/halt RHS actions.
+//
+// The surface syntax follows Forgy's OPS5:
+//
+//	(literalize Emp name age salary dno)
+//	(p R1
+//	    (Emp ^name Mike ^salary <S>)
+//	    (Emp ^name Sam ^salary {<S1> < <S>})
+//	  -->
+//	    (remove 1))
+//
+// Comments run from ';' to end of line.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokArrow  // -->
+	TokCaret  // ^attr   (Text holds the attribute name)
+	TokVar    // <x>     (Text holds x)
+	TokSym    // bare symbol (Text holds spelling)
+	TokInt    // integer literal
+	TokFloat  // float literal
+	TokString // quoted string or 'quoted symbol'
+	TokOp     // comparison operator = <> < <= > >=
+	TokLDisj  // <<
+	TokRDisj  // >>
+)
+
+// String names the token kind for diagnostics.
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokLParen:
+		return "("
+	case TokRParen:
+		return ")"
+	case TokLBrace:
+		return "{"
+	case TokRBrace:
+		return "}"
+	case TokArrow:
+		return "-->"
+	case TokCaret:
+		return "^attr"
+	case TokVar:
+		return "variable"
+	case TokSym:
+		return "symbol"
+	case TokInt:
+		return "integer"
+	case TokFloat:
+		return "float"
+	case TokString:
+		return "string"
+	case TokOp:
+		return "operator"
+	case TokLDisj:
+		return "<<"
+	case TokRDisj:
+		return ">>"
+	default:
+		return fmt.Sprintf("TokKind(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Flt  float64
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokSym, TokOp:
+		return fmt.Sprintf("%q", t.Text)
+	case TokVar:
+		return fmt.Sprintf("<%s>", t.Text)
+	case TokCaret:
+		return fmt.Sprintf("^%s", t.Text)
+	case TokInt:
+		return strconv.FormatInt(t.Int, 10)
+	case TokFloat:
+		return strconv.FormatFloat(t.Flt, 'g', -1, 64)
+	case TokString:
+		return strconv.Quote(t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Lexer tokenizes OPS5-subset source text.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// LexError is a lexical error with position information.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &LexError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ';':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+// isSymChar reports whether c may appear inside a bare symbol.
+func isSymChar(c byte) bool {
+	if c == 0 {
+		return false
+	}
+	switch c {
+	case '(', ')', '{', '}', '^', '<', '>', '=', ';', '"', '\'', ' ', '\t', '\r', '\n':
+		return false
+	}
+	return true
+}
+
+// isNameChar reports whether c may appear inside a variable or attribute
+// name.
+func isNameChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		(c >= '0' && c <= '9') ||
+		unicode.IsLetter(rune(c))
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch c {
+	case '(':
+		l.advance()
+		tok.Kind = TokLParen
+		return tok, nil
+	case ')':
+		l.advance()
+		tok.Kind = TokRParen
+		return tok, nil
+	case '{':
+		l.advance()
+		tok.Kind = TokLBrace
+		return tok, nil
+	case '}':
+		l.advance()
+		tok.Kind = TokRBrace
+		return tok, nil
+	case '^':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && isNameChar(l.peek()) {
+			l.advance()
+		}
+		if l.pos == start {
+			return tok, l.errf("'^' must be followed by an attribute name")
+		}
+		tok.Kind = TokCaret
+		tok.Text = l.src[start:l.pos]
+		return tok, nil
+	case '"', '\'':
+		quote := c
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return tok, l.errf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == quote {
+				break
+			}
+			if ch == '\\' && l.pos < len(l.src) {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"', '\'':
+					b.WriteByte(esc)
+				default:
+					return tok, l.errf("unknown escape \\%c", esc)
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		tok.Kind = TokString
+		tok.Text = b.String()
+		return tok, nil
+	case '<':
+		return l.lexAngle(tok)
+	case '>':
+		l.advance()
+		tok.Kind = TokOp
+		switch l.peek() {
+		case '=':
+			l.advance()
+			tok.Text = ">="
+		case '>':
+			l.advance()
+			tok.Kind = TokRDisj
+		default:
+			tok.Text = ">"
+		}
+		return tok, nil
+	case '=':
+		l.advance()
+		tok.Kind = TokOp
+		tok.Text = "="
+		return tok, nil
+	}
+	// Arrow, number, or bare symbol.
+	if strings.HasPrefix(l.src[l.pos:], "-->") {
+		l.advance()
+		l.advance()
+		l.advance()
+		tok.Kind = TokArrow
+		return tok, nil
+	}
+	if c == '-' || c == '+' || (c >= '0' && c <= '9') {
+		if t, ok, err := l.lexNumber(tok); err != nil || ok {
+			return t, err
+		}
+	}
+	start := l.pos
+	for l.pos < len(l.src) && isSymChar(l.peek()) {
+		l.advance()
+	}
+	if l.pos == start {
+		return tok, l.errf("unexpected character %q", c)
+	}
+	tok.Kind = TokSym
+	tok.Text = l.src[start:l.pos]
+	return tok, nil
+}
+
+// lexAngle disambiguates '<': variable <x>, operators <>, <=, <.
+func (l *Lexer) lexAngle(tok Token) (Token, error) {
+	l.advance() // consume '<'
+	switch l.peek() {
+	case '>':
+		l.advance()
+		tok.Kind = TokOp
+		tok.Text = "<>"
+		return tok, nil
+	case '=':
+		l.advance()
+		tok.Kind = TokOp
+		tok.Text = "<="
+		return tok, nil
+	case '<':
+		l.advance()
+		tok.Kind = TokLDisj
+		return tok, nil
+	}
+	if isNameChar(l.peek()) {
+		start := l.pos
+		for l.pos < len(l.src) && isNameChar(l.peek()) {
+			l.advance()
+		}
+		if l.peek() != '>' {
+			return tok, l.errf("unterminated variable (missing '>')")
+		}
+		name := l.src[start:l.pos]
+		l.advance() // consume '>'
+		tok.Kind = TokVar
+		tok.Text = name
+		return tok, nil
+	}
+	tok.Kind = TokOp
+	tok.Text = "<"
+	return tok, nil
+}
+
+// lexNumber tries to lex an integer or float literal. ok is false when the
+// text starting at the current position is not a number (e.g. "-foo" or a
+// bare "-"), in which case no input is consumed.
+func (l *Lexer) lexNumber(tok Token) (Token, bool, error) {
+	save := *l
+	start := l.pos
+	if c := l.peek(); c == '-' || c == '+' {
+		l.advance()
+	}
+	digits := 0
+	for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+		l.advance()
+		digits++
+	}
+	if digits == 0 {
+		*l = save
+		return tok, false, nil
+	}
+	isFloat := false
+	if l.peek() == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9' {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		save2 := *l
+		l.advance()
+		if c := l.peek(); c == '-' || c == '+' {
+			l.advance()
+		}
+		expDigits := 0
+		for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			l.advance()
+			expDigits++
+		}
+		if expDigits == 0 {
+			*l = save2
+		} else {
+			isFloat = true
+		}
+	}
+	// A number must end at a delimiter; "12abc" is a symbol.
+	if isSymChar(l.peek()) {
+		*l = save
+		return tok, false, nil
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return tok, true, l.errf("bad float literal %q: %v", text, err)
+		}
+		tok.Kind = TokFloat
+		tok.Flt = f
+		return tok, true, nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return tok, true, l.errf("bad integer literal %q: %v", text, err)
+	}
+	tok.Kind = TokInt
+	tok.Int = i
+	return tok, true, nil
+}
+
+// LexAll tokenizes the whole input, excluding the trailing EOF token.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return out, err
+		}
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

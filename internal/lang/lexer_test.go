@@ -1,0 +1,232 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"prodsys/internal/value"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := LexAll(`(p R1 ^name Mike ^salary <S>) --> { } <> <= >= < > =`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokLParen, TokSym, TokSym, TokCaret, TokSym, TokCaret, TokVar, TokRParen,
+		TokArrow, TokLBrace, TokRBrace,
+		TokOp, TokOp, TokOp, TokOp, TokOp, TokOp,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[3].Text != "name" || toks[6].Text != "S" {
+		t.Errorf("caret/var text: %q %q", toks[3].Text, toks[6].Text)
+	}
+	ops := []string{"<>", "<=", ">=", "<", ">", "="}
+	for i, want := range ops {
+		if toks[11+i].Text != want {
+			t.Errorf("op %d = %q, want %q", i, toks[11+i].Text, want)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := LexAll(`42 -7 +3 2.5 -0.25 1e3 1.5e-2 12abc -`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokInt || toks[0].Int != 42 {
+		t.Errorf("42: %v", toks[0])
+	}
+	if toks[1].Kind != TokInt || toks[1].Int != -7 {
+		t.Errorf("-7: %v", toks[1])
+	}
+	if toks[2].Kind != TokInt || toks[2].Int != 3 {
+		t.Errorf("+3: %v", toks[2])
+	}
+	if toks[3].Kind != TokFloat || toks[3].Flt != 2.5 {
+		t.Errorf("2.5: %v", toks[3])
+	}
+	if toks[4].Kind != TokFloat || toks[4].Flt != -0.25 {
+		t.Errorf("-0.25: %v", toks[4])
+	}
+	if toks[5].Kind != TokFloat || toks[5].Flt != 1000 {
+		t.Errorf("1e3: %v", toks[5])
+	}
+	if toks[6].Kind != TokFloat || toks[6].Flt != 0.015 {
+		t.Errorf("1.5e-2: %v", toks[6])
+	}
+	if toks[7].Kind != TokSym || toks[7].Text != "12abc" {
+		t.Errorf("12abc should be a symbol: %v", toks[7])
+	}
+	if toks[8].Kind != TokSym || toks[8].Text != "-" {
+		t.Errorf("bare '-' should be a symbol: %v", toks[8])
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := LexAll(`"hello world" 'Toy' "a\nb\t\\\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "hello world" {
+		t.Errorf("string 0: %v", toks[0])
+	}
+	if toks[1].Kind != TokString || toks[1].Text != "Toy" {
+		t.Errorf("string 1: %v", toks[1])
+	}
+	if toks[2].Text != "a\nb\t\\\"" {
+		t.Errorf("escapes: %q", toks[2].Text)
+	}
+	if _, err := LexAll(`"unterminated`); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := LexAll(`"bad \q escape"`); err == nil {
+		t.Error("unknown escape should fail")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("a ; this is a comment\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("comment handling: %v", toks)
+	}
+	if toks[1].Line != 2 {
+		t.Errorf("line tracking: token b on line %d", toks[1].Line)
+	}
+}
+
+func TestLexVariableErrors(t *testing.T) {
+	if _, err := LexAll(`<unterminated`); err == nil {
+		t.Error("unterminated variable should fail")
+	}
+	if _, err := LexAll(`^`); err == nil {
+		t.Error("caret without name should fail")
+	}
+}
+
+func TestLexArrowVsMinus(t *testing.T) {
+	toks, err := LexAll(`--> - -5 -x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokArrow, TokSym, TokInt, TokSym}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+	if toks[3].Text != "-x" {
+		t.Errorf("-x lexed as %q", toks[3].Text)
+	}
+}
+
+func TestLexAngleForms(t *testing.T) {
+	toks, err := LexAll(`<x> <long-name_2> < 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokVar || toks[0].Text != "x" {
+		t.Errorf("<x>: %v", toks[0])
+	}
+	if toks[1].Kind != TokVar || toks[1].Text != "long-name_2" {
+		t.Errorf("<long-name_2>: %v", toks[1])
+	}
+	if toks[2].Kind != TokOp || toks[2].Text != "<" {
+		t.Errorf("bare <: %v", toks[2])
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := LexAll(`foo <x> ^a 5 2.5 "s" = (`)
+	strs := []string{`"foo"`, "<x>", "^a", "5", "2.5", `"s"`, `"="`, "("}
+	for i, want := range strs {
+		if got := toks[i].String(); got != want {
+			t.Errorf("token %d String = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("(p\n  R1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("token 0 at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[2].Line != 2 || toks[2].Col != 3 {
+		t.Errorf("R1 at %d:%d, want 2:3", toks[2].Line, toks[2].Col)
+	}
+}
+
+func TestLexErrorMessage(t *testing.T) {
+	_, err := LexAll("\n  \"oops")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should cite line 2: %v", err)
+	}
+}
+
+func TestLexPaperExample(t *testing.T) {
+	// Rule R1 from Example 3 of the paper.
+	src := `
+; delete Mike if he makes more than his manager
+(p R1
+    (Emp ^name Mike ^salary <S> ^manager <M>)
+    (Emp ^name <M> ^salary {<S1> < <S>})
+  -->
+    (remove 1))`
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars, carets int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case TokVar:
+			vars++
+		case TokCaret:
+			carets++
+		}
+	}
+	if vars != 5 {
+		t.Errorf("found %d variables, want 5", vars)
+	}
+	if carets != 5 {
+		t.Errorf("found %d attribute tests, want 5", carets)
+	}
+}
+
+func TestOpRoundTrip(t *testing.T) {
+	for _, spelling := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		toks, err := LexAll(spelling + " 1")
+		if err != nil || toks[0].Kind != TokOp {
+			t.Fatalf("op %q: %v %v", spelling, toks, err)
+		}
+		if _, ok := value.ParseOp(toks[0].Text); !ok {
+			t.Errorf("op %q does not parse", toks[0].Text)
+		}
+	}
+}

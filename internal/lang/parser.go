@@ -1,0 +1,463 @@
+package lang
+
+import (
+	"fmt"
+
+	"prodsys/internal/value"
+)
+
+// ParseError is a syntax error with position information.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parser builds a Program from a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses OPS5-subset source text into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token {
+	if p.pos >= len(p.toks) {
+		if len(p.toks) == 0 {
+			return Token{Kind: TokEOF, Line: 1, Col: 1}
+		}
+		last := p.toks[len(p.toks)-1]
+		return Token{Kind: TokEOF, Line: last.Line, Col: last.Col + 1}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(t Token, format string, args ...any) error {
+	return &ParseError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	t := p.next()
+	if t.Kind != k {
+		return t, p.errf(t, "expected %s, found %s", k, t)
+	}
+	return t, nil
+}
+
+func (p *Parser) expectSym() (Token, error) {
+	t := p.next()
+	if t.Kind != TokSym {
+		return t, p.errf(t, "expected a symbol, found %s", t)
+	}
+	return t, nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for {
+		t := p.cur()
+		if t.Kind == TokEOF {
+			return prog, nil
+		}
+		if t.Kind != TokLParen {
+			return nil, p.errf(t, "expected '(' at top level, found %s", t)
+		}
+		open := p.next()
+		head := p.cur()
+		if head.Kind != TokSym {
+			return nil, p.errf(head, "expected a form name after '(', found %s", head)
+		}
+		switch head.Text {
+		case "literalize":
+			p.next()
+			lit, err := p.parseLiteralize(open)
+			if err != nil {
+				return nil, err
+			}
+			prog.Literalizes = append(prog.Literalizes, lit)
+		case "p":
+			p.next()
+			prod, err := p.parseProduction(open)
+			if err != nil {
+				return nil, err
+			}
+			prog.Productions = append(prog.Productions, prod)
+		default:
+			fact, err := p.parseFact(open)
+			if err != nil {
+				return nil, err
+			}
+			prog.Facts = append(prog.Facts, fact)
+		}
+	}
+}
+
+func (p *Parser) parseLiteralize(open Token) (*Literalize, error) {
+	name, err := p.expectSym()
+	if err != nil {
+		return nil, err
+	}
+	lit := &Literalize{Class: name.Text, Line: open.Line}
+	for {
+		t := p.next()
+		switch t.Kind {
+		case TokRParen:
+			if len(lit.Attrs) == 0 {
+				return nil, p.errf(t, "literalize %s declares no attributes", lit.Class)
+			}
+			return lit, nil
+		case TokSym:
+			lit.Attrs = append(lit.Attrs, t.Text)
+		default:
+			return nil, p.errf(t, "expected attribute name or ')' in literalize, found %s", t)
+		}
+	}
+}
+
+func (p *Parser) parseProduction(open Token) (*Production, error) {
+	name, err := p.expectSym()
+	if err != nil {
+		return nil, err
+	}
+	prod := &Production{Name: name.Text, Line: open.Line}
+	// LHS: condition elements until the arrow.
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == TokArrow:
+			p.next()
+			goto rhs
+		case t.Kind == TokSym && t.Text == "-":
+			p.next()
+			lp, err := p.expect(TokLParen)
+			if err != nil {
+				return nil, err
+			}
+			ce, err := p.parseCondElem(lp, true)
+			if err != nil {
+				return nil, err
+			}
+			prod.LHS = append(prod.LHS, ce)
+		case t.Kind == TokLParen:
+			p.next()
+			ce, err := p.parseCondElem(t, false)
+			if err != nil {
+				return nil, err
+			}
+			prod.LHS = append(prod.LHS, ce)
+		default:
+			return nil, p.errf(t, "expected a condition element or '-->' in production %s, found %s", prod.Name, t)
+		}
+	}
+rhs:
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case TokRParen:
+			p.next()
+			if len(prod.LHS) == 0 {
+				return nil, p.errf(open, "production %s has no condition elements", prod.Name)
+			}
+			return prod, nil
+		case TokLParen:
+			p.next()
+			act, err := p.parseAction(t)
+			if err != nil {
+				return nil, err
+			}
+			prod.RHS = append(prod.RHS, act)
+		default:
+			return nil, p.errf(t, "expected an action or ')' in production %s, found %s", prod.Name, t)
+		}
+	}
+}
+
+func (p *Parser) parseCondElem(open Token, negated bool) (*CondElem, error) {
+	cls, err := p.expectSym()
+	if err != nil {
+		return nil, err
+	}
+	ce := &CondElem{Class: cls.Text, Negated: negated, Line: open.Line}
+	for {
+		t := p.next()
+		switch t.Kind {
+		case TokRParen:
+			return ce, nil
+		case TokCaret:
+			test, err := p.parseAttrTest(t)
+			if err != nil {
+				return nil, err
+			}
+			ce.Tests = append(ce.Tests, *test)
+		default:
+			return nil, p.errf(t, "expected ^attr or ')' in condition element on %s, found %s", ce.Class, t)
+		}
+	}
+}
+
+// parseAttrTest parses "^attr valspec" where valspec is a single
+// [op] term or a brace group {[op] term ...}.
+func (p *Parser) parseAttrTest(caret Token) (*AttrTest, error) {
+	test := &AttrTest{Attr: caret.Text}
+	t := p.cur()
+	if t.Kind == TokLBrace {
+		p.next()
+		for {
+			t = p.cur()
+			if t.Kind == TokRBrace {
+				p.next()
+				if len(test.Atoms) == 0 {
+					return nil, p.errf(t, "empty predicate group on ^%s", test.Attr)
+				}
+				return test, nil
+			}
+			atom, err := p.parseTestAtom()
+			if err != nil {
+				return nil, err
+			}
+			test.Atoms = append(test.Atoms, *atom)
+		}
+	}
+	atom, err := p.parseTestAtom()
+	if err != nil {
+		return nil, err
+	}
+	test.Atoms = append(test.Atoms, *atom)
+	return test, nil
+}
+
+// parseTestAtom parses "[op] term" or a disjunction "<< const ... >>".
+func (p *Parser) parseTestAtom() (*TestAtom, error) {
+	if t := p.cur(); t.Kind == TokLDisj {
+		p.next()
+		atom := &TestAtom{}
+		for {
+			tt := p.cur()
+			if tt.Kind == TokRDisj {
+				p.next()
+				if len(atom.Disj) == 0 {
+					return nil, p.errf(tt, "empty value disjunction")
+				}
+				return atom, nil
+			}
+			term, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if term.Kind == TermVar {
+				return nil, p.errf(tt, "value disjunctions may contain only constants")
+			}
+			atom.Disj = append(atom.Disj, term.Val)
+		}
+	}
+	op := value.OpEq
+	if t := p.cur(); t.Kind == TokOp {
+		p.next()
+		parsed, ok := value.ParseOp(t.Text)
+		if !ok {
+			return nil, p.errf(t, "unknown operator %q", t.Text)
+		}
+		op = parsed
+	}
+	term, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return &TestAtom{Op: op, Term: term}, nil
+}
+
+// parseTerm parses a constant or variable.
+func (p *Parser) parseTerm() (Term, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokVar:
+		return VarTerm(t.Text), nil
+	case TokInt:
+		return ConstTerm(value.OfInt(t.Int)), nil
+	case TokFloat:
+		return ConstTerm(value.OfFloat(t.Flt)), nil
+	case TokString:
+		return ConstTerm(value.OfString(t.Text)), nil
+	case TokSym:
+		return ConstTerm(value.OfSym(t.Text)), nil
+	default:
+		return Term{}, p.errf(t, "expected a constant or variable, found %s", t)
+	}
+}
+
+func (p *Parser) parseAction(open Token) (*Action, error) {
+	head, err := p.expectSym()
+	if err != nil {
+		return nil, err
+	}
+	act := &Action{Line: open.Line}
+	switch head.Text {
+	case "make":
+		act.Kind = ActMake
+		cls, err := p.expectSym()
+		if err != nil {
+			return nil, err
+		}
+		act.Class = cls.Text
+		if act.Assigns, err = p.parseAssigns(); err != nil {
+			return nil, err
+		}
+		return act, nil
+	case "remove":
+		act.Kind = ActRemove
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		act.CE = int(n.Int)
+		_, err = p.expect(TokRParen)
+		return act, err
+	case "modify":
+		act.Kind = ActModify
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		act.CE = int(n.Int)
+		if act.Assigns, err = p.parseAssigns(); err != nil {
+			return nil, err
+		}
+		if len(act.Assigns) == 0 {
+			return nil, p.errf(open, "modify needs at least one ^attr assignment")
+		}
+		return act, nil
+	case "write":
+		act.Kind = ActWrite
+		for {
+			if p.cur().Kind == TokRParen {
+				p.next()
+				return act, nil
+			}
+			term, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			act.Args = append(act.Args, term)
+		}
+	case "bind":
+		act.Kind = ActBind
+		v, err := p.expect(TokVar)
+		if err != nil {
+			return nil, err
+		}
+		act.Var = v.Text
+		if act.Term, err = p.parseTerm(); err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokRParen)
+		return act, err
+	case "halt":
+		act.Kind = ActHalt
+		_, err = p.expect(TokRParen)
+		return act, err
+	case "call":
+		act.Kind = ActCall
+		fn, err := p.expectSym()
+		if err != nil {
+			return nil, err
+		}
+		act.Func = fn.Text
+		for {
+			if p.cur().Kind == TokRParen {
+				p.next()
+				return act, nil
+			}
+			term, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			act.Args = append(act.Args, term)
+		}
+	default:
+		return nil, p.errf(head, "unknown action %q", head.Text)
+	}
+}
+
+// parseAssigns parses "^attr term" pairs up to the closing paren.
+func (p *Parser) parseAssigns() ([]FieldAssign, error) {
+	var out []FieldAssign
+	for {
+		t := p.next()
+		switch t.Kind {
+		case TokRParen:
+			return out, nil
+		case TokCaret:
+			term, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, FieldAssign{Attr: t.Text, Term: term})
+		default:
+			return nil, p.errf(t, "expected ^attr or ')', found %s", t)
+		}
+	}
+}
+
+// parseFact parses a fact form: (Class v1 v2 ...) positionally or
+// (Class ^attr v ...) by attribute. The class-name token has already been
+// peeked but not consumed.
+func (p *Parser) parseFact(open Token) (*Fact, error) {
+	cls := p.next() // the symbol that failed to be a keyword
+	fact := &Fact{Class: cls.Text, Line: open.Line}
+	if p.cur().Kind == TokCaret {
+		for {
+			t := p.next()
+			switch t.Kind {
+			case TokRParen:
+				return fact, nil
+			case TokCaret:
+				term, err := p.parseTerm()
+				if err != nil {
+					return nil, err
+				}
+				if term.Kind == TermVar {
+					return nil, p.errf(t, "facts may not contain variables")
+				}
+				fact.Assigns = append(fact.Assigns, FieldAssign{Attr: t.Text, Term: term})
+			default:
+				return nil, p.errf(t, "expected ^attr or ')' in fact, found %s", t)
+			}
+		}
+	}
+	for {
+		if p.cur().Kind == TokRParen {
+			p.next()
+			if len(fact.Positional) == 0 {
+				return nil, p.errf(open, "fact for class %s has no values", fact.Class)
+			}
+			return fact, nil
+		}
+		term, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if term.Kind == TermVar {
+			return nil, p.errf(open, "facts may not contain variables")
+		}
+		fact.Positional = append(fact.Positional, term)
+	}
+}

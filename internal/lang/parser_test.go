@@ -1,0 +1,322 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"prodsys/internal/value"
+)
+
+const paperExample3 = `
+(literalize Emp name age salary dno manager)
+(literalize Dept dno dname floor manager)
+
+; delete Mike if he makes more than his manager
+(p R1
+    (Emp ^name Mike ^salary <S> ^manager <M>)
+    (Emp ^name <M> ^salary {<S1> < <S>})
+  -->
+    (remove 1))
+
+; delete all employees working on the first floor in the Toy department
+(p R2
+    (Emp ^dno <D>)
+    (Dept ^dno <D> ^dname Toy ^floor 1)
+  -->
+    (remove 1))
+`
+
+func TestParsePaperExample3(t *testing.T) {
+	prog, err := Parse(paperExample3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Literalizes) != 2 {
+		t.Fatalf("literalizes = %d", len(prog.Literalizes))
+	}
+	emp := prog.Literalizes[0]
+	if emp.Class != "Emp" || len(emp.Attrs) != 5 || emp.Attrs[2] != "salary" {
+		t.Fatalf("Emp literalize: %+v", emp)
+	}
+	if len(prog.Productions) != 2 {
+		t.Fatalf("productions = %d", len(prog.Productions))
+	}
+	r1 := prog.Productions[0]
+	if r1.Name != "R1" || len(r1.LHS) != 2 || len(r1.RHS) != 1 {
+		t.Fatalf("R1 shape: %+v", r1)
+	}
+	ce2 := r1.LHS[1]
+	if ce2.Class != "Emp" || len(ce2.Tests) != 2 {
+		t.Fatalf("R1 CE2: %+v", ce2)
+	}
+	sal := ce2.Tests[1]
+	if sal.Attr != "salary" || len(sal.Atoms) != 2 {
+		t.Fatalf("salary test: %+v", sal)
+	}
+	if sal.Atoms[0].Op != value.OpEq || sal.Atoms[0].Term.Var != "S1" {
+		t.Errorf("first atom should bind <S1>: %+v", sal.Atoms[0])
+	}
+	if sal.Atoms[1].Op != value.OpLt || sal.Atoms[1].Term.Var != "S" {
+		t.Errorf("second atom should be < <S>: %+v", sal.Atoms[1])
+	}
+	if r1.RHS[0].Kind != ActRemove || r1.RHS[0].CE != 1 {
+		t.Errorf("R1 action: %+v", r1.RHS[0])
+	}
+	r2 := prog.Productions[1]
+	floor := r2.LHS[1].Tests[2]
+	if floor.Attr != "floor" || floor.Atoms[0].Term.Val.AsInt() != 1 {
+		t.Errorf("floor test: %+v", floor)
+	}
+}
+
+func TestParsePaperExample2(t *testing.T) {
+	// The PlusOX rule from Example 2 (Forgy's algebra simplification).
+	src := `
+(literalize Goal type object)
+(literalize Expression name arg1 op arg2)
+(p PlusOX
+    (Goal ^type Simplify ^object <N>)
+    (Expression ^name <N> ^arg1 0 ^op + ^arg2 <X>)
+  -->
+    (modify 2 ^op nil ^arg1 nil))`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.Productions[0]
+	if p.Name != "PlusOX" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	expr := p.LHS[1]
+	if expr.Tests[2].Atoms[0].Term.Val.AsString() != "+" {
+		t.Errorf("op test: %+v", expr.Tests[2])
+	}
+	mod := p.RHS[0]
+	if mod.Kind != ActModify || mod.CE != 2 || len(mod.Assigns) != 2 {
+		t.Fatalf("modify: %+v", mod)
+	}
+	if mod.Assigns[0].Attr != "op" || mod.Assigns[0].Term.Val.AsString() != "nil" {
+		t.Errorf("modify assign: %+v", mod.Assigns[0])
+	}
+}
+
+func TestParseNegatedCondition(t *testing.T) {
+	src := `
+(p NoManager
+    (Emp ^name <N> ^dno <D>)
+    - (Dept ^dno <D>)
+  -->
+    (write <N>))`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.Productions[0]
+	if len(p.LHS) != 2 {
+		t.Fatalf("LHS size = %d", len(p.LHS))
+	}
+	if p.LHS[0].Negated {
+		t.Error("CE1 should not be negated")
+	}
+	if !p.LHS[1].Negated {
+		t.Error("CE2 should be negated")
+	}
+	if p.RHS[0].Kind != ActWrite || p.RHS[0].Args[0].Var != "N" {
+		t.Errorf("write action: %+v", p.RHS[0])
+	}
+}
+
+func TestParseAllActions(t *testing.T) {
+	src := `
+(p AllActs
+    (A ^x <X>)
+  -->
+    (make B ^y <X> ^z 5)
+    (remove 1)
+    (modify 1 ^x 9)
+    (write done <X> "text")
+    (bind <Y> 42)
+    (halt))`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := prog.Productions[0].RHS
+	if len(acts) != 6 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	wantKinds := []ActionKind{ActMake, ActRemove, ActModify, ActWrite, ActBind, ActHalt}
+	for i, k := range wantKinds {
+		if acts[i].Kind != k {
+			t.Errorf("action %d = %v, want %v", i, acts[i].Kind, k)
+		}
+	}
+	mk := acts[0]
+	if mk.Class != "B" || len(mk.Assigns) != 2 || mk.Assigns[1].Term.Val.AsInt() != 5 {
+		t.Errorf("make: %+v", mk)
+	}
+	bd := acts[4]
+	if bd.Var != "Y" || bd.Term.Val.AsInt() != 42 {
+		t.Errorf("bind: %+v", bd)
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	src := `
+(Emp Mike 30 1000 1)
+(Emp ^name Sam ^salary 900)
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Facts) != 2 {
+		t.Fatalf("facts = %d", len(prog.Facts))
+	}
+	f1 := prog.Facts[0]
+	if f1.Class != "Emp" || len(f1.Positional) != 4 {
+		t.Fatalf("positional fact: %+v", f1)
+	}
+	if f1.Positional[1].Val.AsInt() != 30 {
+		t.Errorf("positional value: %+v", f1.Positional[1])
+	}
+	f2 := prog.Facts[1]
+	if len(f2.Assigns) != 2 || f2.Assigns[0].Attr != "name" {
+		t.Fatalf("attr fact: %+v", f2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"top-level junk", `foo`},
+		{"missing form name", `(42)`},
+		{"literalize no attrs", `(literalize Emp)`},
+		{"literalize bad attr", `(literalize Emp ^x)`},
+		{"production no CEs", `(p R1 --> (halt))`},
+		{"unterminated production", `(p R1 (A ^x 1) --> (halt)`},
+		{"CE bad content", `(p R1 (A 5) --> (halt))`},
+		{"unknown action", `(p R1 (A ^x 1) --> (frobnicate))`},
+		{"remove non-number", `(p R1 (A ^x 1) --> (remove x))`},
+		{"modify no assigns", `(p R1 (A ^x 1) --> (modify 1))`},
+		{"bind missing var", `(p R1 (A ^x 1) --> (bind 5 5))`},
+		{"halt with args", `(p R1 (A ^x 1) --> (halt 5))`},
+		{"empty predicate group", `(p R1 (A ^x {}) --> (halt))`},
+		{"fact with variable", `(Emp <x>)`},
+		{"attr fact with variable", `(Emp ^name <x>)`},
+		{"empty fact", `(Emp)`},
+		{"arrow missing", `(p R1 (A ^x 1) (halt))`},
+		{"dash without CE", `(p R1 - 5 --> (halt))`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Errorf("Parse(%q) should fail", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("(p R1\n  (A ^x 1)\n  (halt))")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3: %v", pe.Line, err)
+	}
+}
+
+func TestASTStringRoundTrip(t *testing.T) {
+	prog, err := Parse(paperExample3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rendering each production and re-parsing yields the same structure.
+	for _, p := range prog.Productions {
+		src := p.String()
+		re, err := Parse(src)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", src, err)
+		}
+		if len(re.Productions) != 1 {
+			t.Fatalf("round trip lost production: %q", src)
+		}
+		q := re.Productions[0]
+		if q.Name != p.Name || len(q.LHS) != len(p.LHS) || len(q.RHS) != len(p.RHS) {
+			t.Fatalf("round trip changed shape:\n%s\nvs\n%s", p, q)
+		}
+		for i := range p.LHS {
+			if q.LHS[i].String() != p.LHS[i].String() {
+				t.Errorf("CE %d: %q vs %q", i, p.LHS[i], q.LHS[i])
+			}
+		}
+		for i := range p.RHS {
+			if q.RHS[i].String() != p.RHS[i].String() {
+				t.Errorf("action %d: %q vs %q", i, p.RHS[i], q.RHS[i])
+			}
+		}
+	}
+	for _, l := range prog.Literalizes {
+		re, err := Parse(l.String())
+		if err != nil || len(re.Literalizes) != 1 {
+			t.Fatalf("literalize round trip: %v", err)
+		}
+	}
+}
+
+func TestNegatedCEString(t *testing.T) {
+	prog, err := Parse(`(p R (A ^x 1) - (B ^y <x>) --> (halt))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Productions[0].LHS[1].String()
+	if !strings.HasPrefix(s, "- (B") {
+		t.Errorf("negated CE string = %q", s)
+	}
+	// Round-trip through production String.
+	re, err := Parse(prog.Productions[0].String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Productions[0].LHS[1].Negated {
+		t.Error("negation lost in round trip")
+	}
+}
+
+func TestActionKindString(t *testing.T) {
+	kinds := map[ActionKind]string{
+		ActMake: "make", ActRemove: "remove", ActModify: "modify",
+		ActWrite: "write", ActBind: "bind", ActHalt: "halt",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%v != %q", got, want)
+		}
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if got := VarTerm("x").String(); got != "<x>" {
+		t.Errorf("VarTerm String = %q", got)
+	}
+	if got := ConstTerm(value.OfInt(5)).String(); got != "5" {
+		t.Errorf("ConstTerm String = %q", got)
+	}
+}
+
+func TestParseEmptySource(t *testing.T) {
+	prog, err := Parse("  ; only a comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Literalizes)+len(prog.Productions)+len(prog.Facts) != 0 {
+		t.Error("empty source should produce empty program")
+	}
+}

@@ -1,0 +1,355 @@
+// Package lock implements the two-phase locking substrate assumed by the
+// paper's concurrent execution strategy (§5.2): shared and exclusive
+// locks at tuple and relation granularity, lock upgrade, and deadlock
+// detection over the waits-for graph with victim abort.
+//
+// The paper requires read locks on the WM tuples a firing production
+// retrieves, write locks on the tuples it deletes or updates, and — for
+// productions negatively dependent on a relation — a read lock on the
+// entire relation, held until the maintenance process completes.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// Target identifies a lockable resource: a whole relation (ID == 0,
+// Whole == true) or one tuple.
+type Target struct {
+	Relation string
+	ID       relation.TupleID
+	Whole    bool
+}
+
+// TupleTarget builds a tuple-granularity target.
+func TupleTarget(rel string, id relation.TupleID) Target {
+	return Target{Relation: rel, ID: id}
+}
+
+// RelationTarget builds a relation-granularity target.
+func RelationTarget(rel string) Target {
+	return Target{Relation: rel, Whole: true}
+}
+
+// String renders the target.
+func (t Target) String() string {
+	if t.Whole {
+		return t.Relation + "/*"
+	}
+	return fmt.Sprintf("%s/%d", t.Relation, t.ID)
+}
+
+// TxnID identifies a transaction.
+type TxnID uint64
+
+// ErrAborted is returned to a deadlock victim; the transaction must roll
+// back and release its locks.
+var ErrAborted = errors.New("lock: transaction aborted as deadlock victim")
+
+// request is a queued lock request.
+type request struct {
+	txn   TxnID
+	mode  Mode
+	ready chan error
+}
+
+// entry is the lock state of one target.
+type entry struct {
+	holders map[TxnID]Mode
+	queue   []*request
+}
+
+// Manager is the lock manager.
+type Manager struct {
+	mu      sync.Mutex
+	entries map[Target]*entry
+	// waitsFor edges: waiting txn → set of holders blocking it.
+	waitsFor map[TxnID]map[TxnID]struct{}
+	held     map[TxnID]map[Target]Mode
+	aborted  map[TxnID]bool
+	stats    *metrics.Set
+}
+
+// NewManager creates an empty lock manager. stats may be nil.
+func NewManager(stats *metrics.Set) *Manager {
+	return &Manager{
+		entries:  make(map[Target]*entry),
+		waitsFor: make(map[TxnID]map[TxnID]struct{}),
+		held:     make(map[TxnID]map[Target]Mode),
+		aborted:  make(map[TxnID]bool),
+		stats:    stats,
+	}
+}
+
+// compatible reports whether a request by txn in mode can be granted given
+// current holders. Relation/tuple hierarchy conflicts are resolved by the
+// caller requesting both granularities; the manager treats targets
+// independently.
+func (e *entry) compatible(txn TxnID, mode Mode) bool {
+	for holder, hm := range e.holders {
+		if holder == txn {
+			continue // upgrade handled separately
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire blocks until txn holds the target in the given mode (or a
+// stronger one), or returns ErrAborted if the transaction was chosen as a
+// deadlock victim while waiting.
+func (m *Manager) Acquire(txn TxnID, tgt Target, mode Mode) error {
+	m.mu.Lock()
+	if m.aborted[txn] {
+		m.mu.Unlock()
+		return ErrAborted
+	}
+	e := m.entries[tgt]
+	if e == nil {
+		e = &entry{holders: make(map[TxnID]Mode)}
+		m.entries[tgt] = e
+	}
+	if cur, holds := e.holders[txn]; holds {
+		if cur == Exclusive || mode == Shared {
+			m.mu.Unlock()
+			return nil // already strong enough
+		}
+		// Upgrade S→X: wait until sole holder.
+	}
+	if e.compatible(txn, mode) && len(e.queue) == 0 {
+		m.grant(txn, tgt, e, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	// Also grant an upgrade immediately when txn is the only holder, even
+	// if others are queued (they cannot be granted anyway while we hold S).
+	if _, holds := e.holders[txn]; holds && len(e.holders) == 1 && mode == Exclusive {
+		m.grant(txn, tgt, e, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	req := &request{txn: txn, mode: mode, ready: make(chan error, 1)}
+	e.queue = append(e.queue, req)
+	m.addWaitEdges(txn, e)
+	m.stats.Inc(metrics.LockWaits)
+	if victim := m.detectDeadlock(txn); victim != 0 {
+		m.abortLocked(victim)
+	}
+	m.mu.Unlock()
+	return <-req.ready
+}
+
+// grant records the lock, never downgrading an exclusive hold.
+func (m *Manager) grant(txn TxnID, tgt Target, e *entry, mode Mode) {
+	if cur, ok := e.holders[txn]; ok && cur == Exclusive {
+		mode = Exclusive
+	}
+	e.holders[txn] = mode
+	if m.held[txn] == nil {
+		m.held[txn] = make(map[Target]Mode)
+	}
+	m.held[txn][tgt] = mode
+	m.stats.Inc(metrics.LockAcquired)
+}
+
+// addWaitEdges records who txn is waiting on for deadlock detection.
+func (m *Manager) addWaitEdges(txn TxnID, e *entry) {
+	set := m.waitsFor[txn]
+	if set == nil {
+		set = make(map[TxnID]struct{})
+		m.waitsFor[txn] = set
+	}
+	for holder := range e.holders {
+		if holder != txn {
+			set[holder] = struct{}{}
+		}
+	}
+	// Also wait on queued requests ahead of us that conflict; a simple
+	// conservative approximation: wait on all earlier queued txns.
+	for _, r := range e.queue {
+		if r.txn != txn {
+			set[r.txn] = struct{}{}
+		}
+	}
+}
+
+// detectDeadlock looks for a cycle reachable from txn and returns the
+// victim to abort (the youngest = highest TxnID on the cycle), or 0.
+func (m *Manager) detectDeadlock(txn TxnID) TxnID {
+	// DFS from txn over waitsFor.
+	var stack []TxnID
+	onStack := map[TxnID]bool{}
+	visited := map[TxnID]bool{}
+	var cycle []TxnID
+	var dfs func(t TxnID) bool
+	dfs = func(t TxnID) bool {
+		visited[t] = true
+		onStack[t] = true
+		stack = append(stack, t)
+		for next := range m.waitsFor[t] {
+			if onStack[next] {
+				// Cycle found: collect members.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == next {
+						break
+					}
+				}
+				return true
+			}
+			if !visited[next] && dfs(next) {
+				return true
+			}
+		}
+		stack = stack[:len(stack)-1]
+		onStack[t] = false
+		return false
+	}
+	if !dfs(txn) {
+		return 0
+	}
+	m.stats.Inc(metrics.Deadlocks)
+	victim := cycle[0]
+	for _, t := range cycle {
+		if t > victim {
+			victim = t
+		}
+	}
+	return victim
+}
+
+// abortLocked marks a transaction aborted, fails its queued requests and
+// releases its locks. Caller holds m.mu.
+func (m *Manager) abortLocked(txn TxnID) {
+	m.aborted[txn] = true
+	for _, e := range m.entries {
+		kept := e.queue[:0]
+		for _, r := range e.queue {
+			if r.txn == txn {
+				r.ready <- ErrAborted
+				continue
+			}
+			kept = append(kept, r)
+		}
+		e.queue = kept
+	}
+	m.releaseAllLocked(txn)
+}
+
+// Abort marks the transaction as a deadlock/consistency victim and
+// releases everything it holds.
+func (m *Manager) Abort(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.abortLocked(txn)
+	m.stats.Inc(metrics.TxnAborts)
+}
+
+// Release drops every lock held by txn (the commit point of strict 2PL)
+// and wakes compatible waiters.
+func (m *Manager) Release(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseAllLocked(txn)
+	delete(m.aborted, txn)
+}
+
+// releaseAllLocked drops txn's locks and re-evaluates wait queues.
+// Caller holds m.mu.
+func (m *Manager) releaseAllLocked(txn TxnID) {
+	delete(m.waitsFor, txn)
+	for other := range m.waitsFor {
+		delete(m.waitsFor[other], txn)
+	}
+	targets := m.held[txn]
+	delete(m.held, txn)
+	for tgt := range targets {
+		e := m.entries[tgt]
+		if e == nil {
+			continue
+		}
+		delete(e.holders, txn)
+		m.wakeLocked(tgt, e)
+	}
+}
+
+// wakeLocked grants queued requests that are now compatible, in FIFO
+// order (stopping at the first incompatible one to avoid starvation).
+func (m *Manager) wakeLocked(tgt Target, e *entry) {
+	for len(e.queue) > 0 {
+		r := e.queue[0]
+		upgrade := false
+		if _, holds := e.holders[r.txn]; holds && len(e.holders) == 1 && r.mode == Exclusive {
+			upgrade = true
+		}
+		if !upgrade && !e.compatible(r.txn, r.mode) {
+			return
+		}
+		e.queue = e.queue[1:]
+		m.grant(r.txn, tgt, e, r.mode)
+		// The granted txn may stop waiting on others for this target.
+		if set := m.waitsFor[r.txn]; set != nil {
+			// Recompute conservatively: clear and re-add for targets it
+			// still queues on.
+			delete(m.waitsFor, r.txn)
+			for t2, e2 := range m.entries {
+				for _, q := range e2.queue {
+					if q.txn == r.txn {
+						m.addWaitEdges(r.txn, e2)
+						_ = t2
+					}
+				}
+			}
+		}
+		r.ready <- nil
+	}
+}
+
+// Held returns the targets txn currently holds, sorted for determinism.
+func (m *Manager) Held(txn TxnID) []Target {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Target, 0, len(m.held[txn]))
+	for tgt := range m.held[txn] {
+		out = append(out, tgt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// HoldsAll reports whether txn holds every given target (any mode).
+func (m *Manager) HoldsAll(txn TxnID, tgts []Target) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, tgt := range tgts {
+		if _, ok := m.held[txn][tgt]; !ok {
+			return false
+		}
+	}
+	return true
+}

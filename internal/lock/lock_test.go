@@ -1,0 +1,251 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := NewManager(nil)
+	tgt := TupleTarget("Emp", 1)
+	if err := m.Acquire(1, tgt, Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, tgt, Shared) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second shared lock blocked")
+	}
+}
+
+func TestExclusiveBlocksAndReleaseWakes(t *testing.T) {
+	m := NewManager(nil)
+	tgt := TupleTarget("Emp", 1)
+	m.Acquire(1, tgt, Exclusive)
+	var acquired atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		err := m.Acquire(2, tgt, Shared)
+		acquired.Store(true)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if acquired.Load() {
+		t.Fatal("shared lock should wait for exclusive holder")
+	}
+	m.Release(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken")
+	}
+}
+
+func TestReacquireIsIdempotent(t *testing.T) {
+	m := NewManager(nil)
+	tgt := TupleTarget("Emp", 1)
+	m.Acquire(1, tgt, Exclusive)
+	if err := m.Acquire(1, tgt, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, tgt, Shared); err != nil {
+		t.Fatal(err) // weaker mode already covered
+	}
+	if got := len(m.Held(1)); got != 1 {
+		t.Fatalf("held = %d targets", got)
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := NewManager(nil)
+	tgt := TupleTarget("Emp", 1)
+	m.Acquire(1, tgt, Shared)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(1, tgt, Exclusive) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("sole-holder upgrade blocked")
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := NewManager(nil)
+	tgt := TupleTarget("Emp", 1)
+	m.Acquire(1, tgt, Shared)
+	m.Acquire(2, tgt, Shared)
+	var upgraded atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		err := m.Acquire(1, tgt, Exclusive)
+		upgraded.Store(true)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if upgraded.Load() {
+		t.Fatal("upgrade should wait for other reader")
+	}
+	m.Release(2)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("upgrade not granted after release")
+	}
+}
+
+func TestDeadlockDetectionAbortsYoungest(t *testing.T) {
+	var stats metrics.Set
+	m := NewManager(&stats)
+	a := TupleTarget("Emp", 1)
+	b := TupleTarget("Emp", 2)
+	m.Acquire(1, a, Exclusive)
+	m.Acquire(2, b, Exclusive)
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(1, b, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	go func() { errs <- m.Acquire(2, a, Exclusive) }()
+	// Txn 2 (youngest) must be aborted; txn 1 then proceeds.
+	var abortSeen, grantSeen bool
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrAborted) {
+				abortSeen = true
+			} else if err == nil {
+				grantSeen = true
+			} else {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("deadlock not resolved")
+		}
+	}
+	if !abortSeen || !grantSeen {
+		t.Fatalf("abortSeen=%v grantSeen=%v", abortSeen, grantSeen)
+	}
+	if stats.Get(metrics.Deadlocks) == 0 {
+		t.Error("deadlock not counted")
+	}
+}
+
+func TestAbortedTxnCannotAcquire(t *testing.T) {
+	m := NewManager(nil)
+	m.Abort(5)
+	if err := m.Acquire(5, TupleTarget("R", 1), Shared); !errors.Is(err, ErrAborted) {
+		t.Fatalf("aborted txn acquired: %v", err)
+	}
+	// Release clears the aborted flag (txn id may be reused after
+	// rollback completes).
+	m.Release(5)
+	if err := m.Acquire(5, TupleTarget("R", 1), Shared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationAndTupleTargetsIndependent(t *testing.T) {
+	m := NewManager(nil)
+	m.Acquire(1, RelationTarget("Emp"), Shared)
+	if err := m.Acquire(2, TupleTarget("Emp", 3), Exclusive); err != nil {
+		t.Fatal(err) // different targets; hierarchy is caller policy
+	}
+	if !m.HoldsAll(1, []Target{RelationTarget("Emp")}) {
+		t.Error("HoldsAll failed")
+	}
+	if m.HoldsAll(1, []Target{TupleTarget("Emp", 3)}) {
+		t.Error("HoldsAll should fail for unheld target")
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if RelationTarget("Emp").String() != "Emp/*" {
+		t.Error("relation target string")
+	}
+	if TupleTarget("Emp", 7).String() != "Emp/7" {
+		t.Error("tuple target string")
+	}
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Error("mode strings")
+	}
+}
+
+func TestFIFOFairness(t *testing.T) {
+	// A queued X request is not starved by later S requests.
+	m := NewManager(nil)
+	tgt := TupleTarget("R", 1)
+	m.Acquire(1, tgt, Shared)
+	xDone := make(chan error, 1)
+	go func() { xDone <- m.Acquire(2, tgt, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	sDone := make(chan error, 1)
+	go func() { sDone <- m.Acquire(3, tgt, Shared) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-sDone:
+		t.Fatal("later shared request jumped the queue")
+	default:
+	}
+	m.Release(1)
+	if err := <-xDone; err != nil {
+		t.Fatal(err)
+	}
+	m.Release(2)
+	if err := <-sDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	var stats metrics.Set
+	m := NewManager(&stats)
+	const txns = 16
+	var wg sync.WaitGroup
+	var commits atomic.Int64
+	for i := 1; i <= txns; i++ {
+		wg.Add(1)
+		go func(id TxnID) {
+			defer wg.Done()
+			targets := []Target{
+				TupleTarget("R", relation.TupleID(1+int(id)%3)),
+				TupleTarget("R", relation.TupleID(1+int(id)%5)),
+			}
+			for attempt := 0; attempt < 10; attempt++ {
+				ok := true
+				for _, tgt := range targets {
+					if err := m.Acquire(id, tgt, Exclusive); err != nil {
+						ok = false
+						break
+					}
+				}
+				m.Release(id)
+				if ok {
+					commits.Add(1)
+					return
+				}
+			}
+		}(TxnID(i))
+	}
+	wg.Wait()
+	if commits.Load() != txns {
+		t.Fatalf("commits = %d, want %d", commits.Load(), txns)
+	}
+}

@@ -1,0 +1,32 @@
+// Package match defines the interface every matching algorithm in this
+// repository implements: the classic Rete network (internal/rete), its
+// straightforward DBMS translation (internal/dbrete), the paper's
+// simplified re-evaluation algorithm (internal/requery), and the
+// matching-pattern algorithm that is the paper's contribution
+// (internal/core).
+//
+// A matcher observes working-memory changes and maintains a conflict set.
+// The engine owns the WM relations; it notifies the matcher after each
+// insertion and before each deletion, mirroring Figure 2 of the paper:
+// changes to working memory propagate into the match network, which emits
+// changes to the conflict set.
+package match
+
+import (
+	"prodsys/internal/conflict"
+	"prodsys/internal/relation"
+)
+
+// Matcher detects the rules applicable after each working-memory change.
+type Matcher interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Insert notifies the matcher that tuple t was stored in the class's
+	// WM relation under the given ID.
+	Insert(class string, id relation.TupleID, t relation.Tuple) error
+	// Delete notifies the matcher that the identified tuple is being
+	// removed. t is the tuple's value at removal time.
+	Delete(class string, id relation.TupleID, t relation.Tuple) error
+	// ConflictSet exposes the maintained conflict set.
+	ConflictSet() *conflict.Set
+}

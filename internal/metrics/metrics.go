@@ -1,0 +1,185 @@
+// Package metrics collects the operation counters the experiment harness
+// reports: tuples scanned and stored, node activations, joins recomputed,
+// lock waits, transaction aborts, and simulated I/O.
+//
+// Counters are safe for concurrent increment, matching the paper's claim
+// that matching-pattern propagation can proceed in parallel across COND
+// relations.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter identifies one tracked quantity.
+type Counter string
+
+// The counters used across the matchers and executors.
+const (
+	// Storage-engine level.
+	TuplesInserted Counter = "tuples_inserted"
+	TuplesDeleted  Counter = "tuples_deleted"
+	TuplesScanned  Counter = "tuples_scanned"
+	IndexLookups   Counter = "index_lookups"
+	PagesRead      Counter = "pages_read" // simulated I/O
+	PagesWritten   Counter = "pages_written"
+
+	// Match-network level.
+	NodeActivations  Counter = "node_activations"
+	TokensStored     Counter = "tokens_stored"
+	TokensDeleted    Counter = "tokens_deleted"
+	JoinsComputed    Counter = "joins_computed"
+	PatternsStored   Counter = "patterns_stored"
+	PatternsDeleted  Counter = "patterns_deleted"
+	PatternSearches  Counter = "pattern_searches"
+	CondTuplesStored Counter = "cond_tuples_stored"
+	FalseDrops       Counter = "false_drops"
+	CandidateChecks  Counter = "candidate_checks"
+
+	// Conflict-set / execution level.
+	Instantiations  Counter = "instantiations"
+	Retractions     Counter = "retractions"
+	RuleFirings     Counter = "rule_firings"
+	LockWaits       Counter = "lock_waits"
+	LockAcquired    Counter = "locks_acquired"
+	TxnCommits      Counter = "txn_commits"
+	TxnAborts       Counter = "txn_aborts"
+	Deadlocks       Counter = "deadlocks"
+	SerialOps       Counter = "serial_ops" // non-interleaved operation slots
+	MaintenanceOps  Counter = "maintenance_ops"
+	ParallelBatches Counter = "parallel_batches"
+)
+
+// Set is a concurrent counter bag. The zero Set is ready to use.
+type Set struct {
+	mu sync.RWMutex
+	m  map[Counter]*atomic.Int64
+}
+
+// counter returns (creating on demand) the cell for c.
+func (s *Set) counter(c Counter) *atomic.Int64 {
+	s.mu.RLock()
+	cell := s.m[c]
+	s.mu.RUnlock()
+	if cell != nil {
+		return cell
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[Counter]*atomic.Int64)
+	}
+	if cell = s.m[c]; cell == nil {
+		cell = new(atomic.Int64)
+		s.m[c] = cell
+	}
+	return cell
+}
+
+// Add increments counter c by n.
+func (s *Set) Add(c Counter, n int64) {
+	if s == nil {
+		return
+	}
+	s.counter(c).Add(n)
+}
+
+// Inc increments counter c by one.
+func (s *Set) Inc(c Counter) { s.Add(c, 1) }
+
+// Get returns the current value of counter c.
+func (s *Set) Get(c Counter) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	cell := s.m[c]
+	s.mu.RUnlock()
+	if cell == nil {
+		return 0
+	}
+	return cell.Load()
+}
+
+// Max raises counter c to at least n.
+func (s *Set) Max(c Counter, n int64) {
+	if s == nil {
+		return
+	}
+	cell := s.counter(c)
+	for {
+		cur := cell.Load()
+		if cur >= n || cell.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Reset zeroes every counter.
+func (s *Set) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cell := range s.m {
+		cell.Store(0)
+	}
+}
+
+// Snapshot is an immutable copy of a Set's counters.
+type Snapshot map[Counter]int64
+
+// Snapshot copies the current counter values.
+func (s *Set) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(Snapshot, len(s.m))
+	for c, cell := range s.m {
+		out[c] = cell.Load()
+	}
+	return out
+}
+
+// Get returns the value of c in the snapshot (zero when absent).
+func (sn Snapshot) Get(c Counter) int64 { return sn[c] }
+
+// Diff returns sn - prev per counter, keeping only nonzero deltas.
+func (sn Snapshot) Diff(prev Snapshot) Snapshot {
+	out := make(Snapshot)
+	for c, v := range sn {
+		if d := v - prev[c]; d != 0 {
+			out[c] = d
+		}
+	}
+	for c, v := range prev {
+		if _, seen := sn[c]; !seen && v != 0 {
+			out[c] = -v
+		}
+	}
+	return out
+}
+
+// String renders the snapshot with counters in sorted order.
+func (sn Snapshot) String() string {
+	names := make([]string, 0, len(sn))
+	for c := range sn {
+		names = append(names, string(c))
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, sn[Counter(n)])
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package ptree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prodsys/internal/value"
+)
+
+// TestTreeMatchesLinearScanProperty: for random interval sets and random
+// probe points, the R-tree must return exactly the items a linear scan
+// finds.
+func TestTreeMatchesLinearScanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(200)
+		tree := NewTree(2)
+		type stored struct {
+			rect Rect
+			id   int
+		}
+		items := make([]stored, n)
+		for i := 0; i < n; i++ {
+			lo1 := int64(r.Intn(1000))
+			hi1 := lo1 + int64(r.Intn(100))
+			lo2 := int64(r.Intn(1000))
+			hi2 := lo2 + int64(r.Intn(100))
+			rect := Rect{
+				NewInterval(value.OfInt(lo1), value.OfInt(hi1)),
+				NewInterval(value.OfInt(lo2), value.OfInt(hi2)),
+			}
+			if r.Intn(10) == 0 {
+				rect[r.Intn(2)] = FullInterval() // some unbounded dims
+			}
+			items[i] = stored{rect: rect, id: i}
+			tree.Insert(&Item{Rect: rect, Data: i})
+		}
+		for probe := 0; probe < 30; probe++ {
+			pt := []value.V{
+				value.OfInt(int64(r.Intn(1100))),
+				value.OfInt(int64(r.Intn(1100))),
+			}
+			want := map[int]bool{}
+			for _, it := range items {
+				if it.rect.ContainsPoint(pt) {
+					want[it.id] = true
+				}
+			}
+			got := map[int]bool{}
+			tree.SearchPoint(pt, func(it *Item) bool {
+				got[it.Data.(int)] = true
+				return true
+			})
+			if len(got) != len(want) {
+				return false
+			}
+			for id := range want {
+				if !got[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRectQueryMatchesScanProperty does the same for rectangle overlap
+// queries.
+func TestRectQueryMatchesScanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(100)
+		tree := NewTree(1)
+		rects := make([]Rect, n)
+		for i := 0; i < n; i++ {
+			lo := int64(r.Intn(1000))
+			rects[i] = Rect{NewInterval(value.OfInt(lo), value.OfInt(lo+int64(r.Intn(50))))}
+			tree.Insert(&Item{Rect: rects[i], Data: i})
+		}
+		for probe := 0; probe < 20; probe++ {
+			lo := int64(r.Intn(1000))
+			q := Rect{NewInterval(value.OfInt(lo), value.OfInt(lo+int64(r.Intn(200))))}
+			want := 0
+			for _, rect := range rects {
+				if rect.Overlaps(q) {
+					want++
+				}
+			}
+			got := 0
+			tree.SearchRect(q, func(*Item) bool {
+				got++
+				return true
+			})
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntervalAlgebraProperties checks union/overlap laws on random
+// intervals.
+func TestIntervalAlgebraProperties(t *testing.T) {
+	mk := func(a, b int64) Interval {
+		if a > b {
+			a, b = b, a
+		}
+		return NewInterval(value.OfInt(a), value.OfInt(b))
+	}
+	f := func(a1, b1, a2, b2, p int64) bool {
+		i1, i2 := mk(a1%1000, b1%1000), mk(a2%1000, b2%1000)
+		// Symmetry.
+		if i1.overlaps(i2) != i2.overlaps(i1) {
+			return false
+		}
+		u := i1.union(i2)
+		pt := value.OfInt(p % 1000)
+		// Union contains everything either side contains.
+		if (i1.contains(pt) || i2.contains(pt)) && !u.contains(pt) {
+			return false
+		}
+		// Every interval overlaps itself and its union.
+		return i1.overlaps(i1) && u.overlaps(i1) && u.overlaps(i2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,347 @@
+package quel
+
+import (
+	"fmt"
+	"strings"
+
+	"prodsys/internal/value"
+)
+
+// Translator turns ALWAYS-tagged QUEL commands into OPS5 productions, the
+// §2.3 trigger mechanism: "Triggers are formed by tagging any QUEL
+// command with the keyword ALWAYS. Such tagged commands conceptually
+// appear to run indefinitely."
+type Translator struct {
+	// Ranges maps declared range variables to their relations.
+	Ranges map[string]string
+	// Classes maps class name → attribute list, for attribute checking.
+	Classes map[string][]string
+	n       int
+}
+
+// NewTranslator builds a translator over the class catalog.
+func NewTranslator(classes map[string][]string) *Translator {
+	return &Translator{Ranges: map[string]string{}, Classes: classes}
+}
+
+// DeclareRange records a range statement.
+func (tr *Translator) DeclareRange(v, class string) error {
+	if _, ok := tr.Classes[class]; !ok {
+		return fmt.Errorf("quel: range over unknown relation %s", class)
+	}
+	tr.Ranges[v] = class
+	return nil
+}
+
+// classOf resolves a variable: a declared range variable, or a class name
+// used as its own implicit range variable (the paper writes
+// "replace ALWAYS EMP (...)" with EMP both relation and variable).
+func (tr *Translator) classOf(v string) (string, error) {
+	if cls, ok := tr.Ranges[v]; ok {
+		return cls, nil
+	}
+	if _, ok := tr.Classes[v]; ok {
+		return v, nil
+	}
+	return "", fmt.Errorf("quel: unknown range variable %q", v)
+}
+
+func (tr *Translator) attrPos(class, attr string) error {
+	for _, a := range tr.Classes[class] {
+		if a == attr {
+			return nil
+		}
+	}
+	return fmt.Errorf("quel: relation %s has no attribute %s", class, attr)
+}
+
+// ceDraft accumulates the rendered attribute tests of one condition
+// element during translation.
+type ceDraft struct {
+	qvar  string // range variable
+	class string
+	tests []string
+}
+
+// builder assembles the production.
+type builder struct {
+	tr *Translator
+	// ces in order; the target variable's CE is appended last.
+	ces    []*ceDraft
+	byVar  map[string]*ceDraft
+	bindOf map[string]string // "var.attr" → OPS5 variable name
+	nvar   int
+	// target is the variable whose CE is emitted last (remove/modify
+	// targets); bindings prefer the other side of a condition so that
+	// binder condition elements precede their uses.
+	target string
+}
+
+func (tr *Translator) newBuilder(target string) *builder {
+	return &builder{tr: tr, byVar: map[string]*ceDraft{}, bindOf: map[string]string{}, target: target}
+}
+
+// ceFor returns (creating on demand) the draft CE of a range variable.
+func (b *builder) ceFor(v string) (*ceDraft, error) {
+	if ce, ok := b.byVar[v]; ok {
+		return ce, nil
+	}
+	cls, err := b.tr.classOf(v)
+	if err != nil {
+		return nil, err
+	}
+	ce := &ceDraft{qvar: v, class: cls}
+	b.byVar[v] = ce
+	b.ces = append(b.ces, ce)
+	return ce, nil
+}
+
+// bind ensures var.attr is equality-bound to an OPS5 variable and returns
+// the variable name.
+func (b *builder) bind(v, attr string) (string, error) {
+	key := v + "." + attr
+	if name, ok := b.bindOf[key]; ok {
+		return name, nil
+	}
+	ce, err := b.ceFor(v)
+	if err != nil {
+		return "", err
+	}
+	if err := b.tr.attrPos(ce.class, attr); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("q%d", b.nvar)
+	b.nvar++
+	b.bindOf[key] = name
+	ce.tests = append(ce.tests, fmt.Sprintf("^%s <%s>", attr, name))
+	return name, nil
+}
+
+// addQual renders one qualification conjunct into the draft CEs.
+func (b *builder) addQual(c Cond) error {
+	switch {
+	case c.Left.IsRef() && !c.Right.IsRef():
+		ce, err := b.ceFor(c.Left.Var)
+		if err != nil {
+			return err
+		}
+		if err := b.tr.attrPos(ce.class, c.Left.Attr); err != nil {
+			return err
+		}
+		ce.tests = append(ce.tests, renderTest(c.Left.Attr, c.Op, c.Right.Const.String()))
+		return nil
+	case !c.Left.IsRef() && c.Right.IsRef():
+		return b.addQual(Cond{Left: c.Right, Op: c.Op.Flip(), Right: c.Left})
+	case c.Left.IsRef() && c.Right.IsRef():
+		// Bind the left side, test on the right side with the flipped
+		// operator (right.attr flip(op) leftVar ⟺ left.attr op right.attr).
+		// The target's CE is emitted last, so when the left side is the
+		// target the condition is mirrored to bind on the other variable.
+		if c.Left.Var == b.target && c.Right.Var != b.target {
+			return b.addQual(Cond{Left: c.Right, Op: c.Op.Flip(), Right: c.Left})
+		}
+		name, err := b.bind(c.Left.Var, c.Left.Attr)
+		if err != nil {
+			return err
+		}
+		ce, err := b.ceFor(c.Right.Var)
+		if err != nil {
+			return err
+		}
+		if err := b.tr.attrPos(ce.class, c.Right.Attr); err != nil {
+			return err
+		}
+		ce.tests = append(ce.tests, renderTest(c.Right.Attr, c.Op.Flip(), "<"+name+">"))
+		return nil
+	default:
+		return fmt.Errorf("quel: qualification compares two constants")
+	}
+}
+
+func renderTest(attr string, op value.Op, rhs string) string {
+	if op == value.OpEq {
+		return fmt.Sprintf("^%s %s", attr, rhs)
+	}
+	return fmt.Sprintf("^%s %s %s", attr, op, rhs)
+}
+
+// render emits the production source.
+func (b *builder) render(name string, targetTests []string, target *ceDraft, actions []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(p %s\n", name)
+	emit := func(ce *ceDraft, extra []string) {
+		sb.WriteString("    (")
+		sb.WriteString(ce.class)
+		for _, t := range ce.tests {
+			sb.WriteByte(' ')
+			sb.WriteString(t)
+		}
+		for _, t := range extra {
+			sb.WriteByte(' ')
+			sb.WriteString(t)
+		}
+		sb.WriteString(")\n")
+	}
+	for _, ce := range b.ces {
+		if ce == target {
+			continue // target goes last so its guard variables are bound
+		}
+		emit(ce, nil)
+	}
+	if target != nil {
+		emit(target, targetTests)
+	}
+	sb.WriteString("  -->\n")
+	for _, a := range actions {
+		sb.WriteString("    ")
+		sb.WriteString(a)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(")\n")
+	return sb.String()
+}
+
+// targetIndex returns the 1-based CEN of the target (always last).
+func (b *builder) targetIndex() int { return len(b.ces) }
+
+// TranslateAlways renders the productions implementing one ALWAYS
+// command. A replace with several assignments yields one production per
+// assignment (each needs its own inequality guard for quiescence).
+func (tr *Translator) TranslateAlways(st *Stmt) ([]string, error) {
+	if !st.Always {
+		return nil, fmt.Errorf("quel: statement is not tagged ALWAYS")
+	}
+	switch st.Kind {
+	case StmtReplace:
+		return tr.translateReplaceAlways(st)
+	case StmtDelete:
+		return tr.translateDeleteAlways(st)
+	case StmtAppend:
+		return tr.translateAppendAlways(st)
+	default:
+		return nil, fmt.Errorf("quel: %s cannot be tagged ALWAYS", st.Kind)
+	}
+}
+
+func (tr *Translator) translateReplaceAlways(st *Stmt) ([]string, error) {
+	var out []string
+	for _, as := range st.Assigns {
+		b := tr.newBuilder(st.Var)
+		// Evaluate the assignment source first so its binder CE precedes
+		// the target.
+		var rhs string // OPS5 term for the new value
+		if as.Expr.IsRef() {
+			name, err := b.bind(as.Expr.Var, as.Expr.Attr)
+			if err != nil {
+				return nil, err
+			}
+			rhs = "<" + name + ">"
+		} else {
+			rhs = as.Expr.Const.String()
+		}
+		for _, q := range st.Quals {
+			if err := b.addQual(q); err != nil {
+				return nil, err
+			}
+		}
+		target, err := b.ceFor(st.Var)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.attrPos(target.class, as.Attr); err != nil {
+			return nil, err
+		}
+		tr.n++
+		name := fmt.Sprintf("quel-always-%d", tr.n)
+		// Guard: fire only while the attribute differs from the source.
+		guard := []string{fmt.Sprintf("^%s <> %s", as.Attr, rhs)}
+		action := fmt.Sprintf("(modify %d ^%s %s)", b.targetIndex(), as.Attr, rhs)
+		out = append(out, b.render(name, guard, target, []string{action}))
+	}
+	return out, nil
+}
+
+func (tr *Translator) translateDeleteAlways(st *Stmt) ([]string, error) {
+	b := tr.newBuilder(st.Var)
+	for _, q := range st.Quals {
+		if err := b.addQual(q); err != nil {
+			return nil, err
+		}
+	}
+	target, err := b.ceFor(st.Var)
+	if err != nil {
+		return nil, err
+	}
+	_ = target
+	tr.n++
+	name := fmt.Sprintf("quel-always-%d", tr.n)
+	action := fmt.Sprintf("(remove %d)", b.targetIndex())
+	return []string{b.render(name, nil, target, []string{action})}, nil
+}
+
+func (tr *Translator) translateAppendAlways(st *Stmt) ([]string, error) {
+	if _, ok := tr.Classes[st.Class]; !ok {
+		return nil, fmt.Errorf("quel: append to unknown relation %s", st.Class)
+	}
+	b := tr.newBuilder("")
+	// Resolve assignment sources (binding range variables as needed).
+	terms := make([]string, len(st.Assigns))
+	for i, as := range st.Assigns {
+		if err := tr.attrPos(st.Class, as.Attr); err != nil {
+			return nil, err
+		}
+		if as.Expr.IsRef() {
+			name, err := b.bind(as.Expr.Var, as.Expr.Attr)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = "<" + name + ">"
+		} else {
+			terms[i] = as.Expr.Const.String()
+		}
+	}
+	for _, q := range st.Quals {
+		if err := b.addQual(q); err != nil {
+			return nil, err
+		}
+	}
+	if len(b.ces) == 0 {
+		return nil, fmt.Errorf("quel: append ALWAYS needs at least one range variable in its qualification")
+	}
+	tr.n++
+	name := fmt.Sprintf("quel-always-%d", tr.n)
+	// Quiescence guard: NOT EXISTS an identical tuple.
+	var neg strings.Builder
+	neg.WriteString("- (")
+	neg.WriteString(st.Class)
+	for i, as := range st.Assigns {
+		fmt.Fprintf(&neg, " ^%s %s", as.Attr, terms[i])
+	}
+	neg.WriteString(")")
+	var mk strings.Builder
+	mk.WriteString("(make ")
+	mk.WriteString(st.Class)
+	for i, as := range st.Assigns {
+		fmt.Fprintf(&mk, " ^%s %s", as.Attr, terms[i])
+	}
+	mk.WriteString(")")
+
+	// Render manually: positive CEs, then the negated guard, then action.
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(p %s\n", name)
+	for _, ce := range b.ces {
+		sb.WriteString("    (")
+		sb.WriteString(ce.class)
+		for _, t := range ce.tests {
+			sb.WriteByte(' ')
+			sb.WriteString(t)
+		}
+		sb.WriteString(")\n")
+	}
+	sb.WriteString("    ")
+	sb.WriteString(neg.String())
+	sb.WriteString("\n  -->\n    ")
+	sb.WriteString(mk.String())
+	sb.WriteString("\n)\n")
+	return []string{sb.String()}, nil
+}

@@ -1,0 +1,76 @@
+package relation
+
+import (
+	"prodsys/internal/metrics"
+	"prodsys/internal/value"
+)
+
+// JoinCond relates an attribute of a left tuple to an attribute of a
+// right tuple: left[LeftPos] Op right[RightPos].
+type JoinCond struct {
+	LeftPos  int
+	RightPos int
+	Op       value.Op
+}
+
+// Satisfies reports whether the pair (l, r) meets the join condition.
+func (jc JoinCond) Satisfies(l, r Tuple) bool {
+	return jc.Op.Apply(l[jc.LeftPos], r[jc.RightPos])
+}
+
+// JoinPair is one (left, right) result of a join probe.
+type JoinPair struct {
+	LeftID  TupleID
+	RightID TupleID
+}
+
+// JoinProbe finds all tuples of rel joining with the single tuple t under
+// conds (t plays the left role), optionally pre-filtered by restrictions
+// on rel. An equality join condition with an index on rel is used as the
+// access path when available; otherwise rel is scanned. This is the
+// "degenerate selection" of §4.1: a two-way join against a single new WM
+// element reduces to a selection on the other relation.
+func JoinProbe(t Tuple, rel *Relation, conds []JoinCond, rs []Restriction) []TupleID {
+	rel.stats.Inc(metrics.JoinsComputed)
+	// Access path: equality join condition with an index on the right.
+	probe := -1
+	for i, jc := range conds {
+		if jc.Op == value.OpEq && rel.HasIndex(jc.RightPos) {
+			probe = i
+			break
+		}
+	}
+	check := func(id TupleID, u Tuple) bool {
+		if !SatisfiesAll(u, rs) {
+			return false
+		}
+		for _, jc := range conds {
+			if !jc.Satisfies(t, u) {
+				return false
+			}
+		}
+		return true
+	}
+	var out []TupleID
+	if probe >= 0 {
+		jc := conds[probe]
+		for _, id := range rel.SelectEq(jc.RightPos, t[jc.LeftPos]) {
+			u, ok := rel.Get(id)
+			if !ok {
+				continue
+			}
+			rel.stats.Inc(metrics.TuplesScanned)
+			if check(id, u) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	rel.Scan(func(id TupleID, u Tuple) bool {
+		if check(id, u) {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,209 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"prodsys/internal/value"
+)
+
+// The persistence format is line-oriented text:
+//
+//	#relation <name> <attr> <attr> ...
+//	<id>\t<value>\t<value>...
+//
+// Values are kind-prefixed: i:42, f:2.5, y:symbol, s:"quoted string",
+// n: (nil). Tuple IDs are preserved across a dump/restore cycle, so
+// conflict-set keys and recency stay meaningful — the working memory "can
+// reside on secondary storage and be persistent" (paper §3.2).
+
+// encodeValue renders one value for the dump format.
+func encodeValue(v value.V) string {
+	switch v.Kind() {
+	case value.Int:
+		return "i:" + strconv.FormatInt(v.AsInt(), 10)
+	case value.Float:
+		return "f:" + strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+	case value.Sym:
+		return "y:" + v.AsString()
+	case value.Str:
+		return "s:" + strconv.Quote(v.AsString())
+	default:
+		return "n:"
+	}
+}
+
+// decodeValue parses one dumped value.
+func decodeValue(s string) (value.V, error) {
+	if len(s) < 2 || s[1] != ':' {
+		return value.V{}, fmt.Errorf("relation: malformed value %q", s)
+	}
+	body := s[2:]
+	switch s[0] {
+	case 'i':
+		i, err := strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return value.V{}, fmt.Errorf("relation: bad int %q: %v", body, err)
+		}
+		return value.OfInt(i), nil
+	case 'f':
+		f, err := strconv.ParseFloat(body, 64)
+		if err != nil {
+			return value.V{}, fmt.Errorf("relation: bad float %q: %v", body, err)
+		}
+		return value.OfFloat(f), nil
+	case 'y':
+		return value.OfSym(body), nil
+	case 's':
+		str, err := strconv.Unquote(body)
+		if err != nil {
+			return value.V{}, fmt.Errorf("relation: bad string %q: %v", body, err)
+		}
+		return value.OfString(str), nil
+	case 'n':
+		return value.V{}, nil
+	default:
+		return value.V{}, fmt.Errorf("relation: unknown value kind %q", s)
+	}
+}
+
+// Dump writes every relation of the catalog in the text format, relations
+// and tuples in deterministic order.
+func (db *DB) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range db.Names() {
+		rel := db.MustGet(name)
+		if _, err := fmt.Fprintf(bw, "#relation %s %s\n", name, strings.Join(rel.Schema().Attrs(), " ")); err != nil {
+			return err
+		}
+		var scanErr error
+		rel.Scan(func(id TupleID, t Tuple) bool {
+			parts := make([]string, 1, len(t)+1)
+			parts[0] = strconv.FormatUint(uint64(id), 10)
+			for _, v := range t {
+				parts = append(parts, encodeValue(v))
+			}
+			if _, err := fmt.Fprintln(bw, strings.Join(parts, "\t")); err != nil {
+				scanErr = err
+				return false
+			}
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	return bw.Flush()
+}
+
+// RestoredTuple is one tuple read back from a dump, delivered to the
+// caller so it can replay matcher maintenance.
+type RestoredTuple struct {
+	Class string
+	ID    TupleID
+	Tuple Tuple
+}
+
+// Restore reads a dump into the catalog. Relations must already exist
+// with matching schemas (the rule program defines them); tuple IDs are
+// preserved. The restored tuples are returned in file order so the caller
+// can replay them through its matcher.
+func (db *DB) Restore(r io.Reader) ([]RestoredTuple, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var cur *Relation
+	var curName string
+	var out []RestoredTuple
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#relation ") {
+			fields := strings.Fields(text)
+			if len(fields) < 3 {
+				return out, fmt.Errorf("relation: line %d: malformed header %q", line, text)
+			}
+			name := fields[1]
+			rel, ok := db.Get(name)
+			if !ok {
+				return out, fmt.Errorf("relation: line %d: relation %s not in catalog", line, name)
+			}
+			attrs := rel.Schema().Attrs()
+			if len(attrs) != len(fields)-2 {
+				return out, fmt.Errorf("relation: line %d: %s has %d attributes, dump has %d",
+					line, name, len(attrs), len(fields)-2)
+			}
+			for i, a := range attrs {
+				if a != fields[i+2] {
+					return out, fmt.Errorf("relation: line %d: attribute mismatch %q vs %q", line, a, fields[i+2])
+				}
+			}
+			cur, curName = rel, name
+			continue
+		}
+		if cur == nil {
+			return out, fmt.Errorf("relation: line %d: tuple before any #relation header", line)
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != cur.Schema().Arity()+1 {
+			return out, fmt.Errorf("relation: line %d: expected %d fields, got %d",
+				line, cur.Schema().Arity()+1, len(parts))
+		}
+		idU, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return out, fmt.Errorf("relation: line %d: bad tuple id %q", line, parts[0])
+		}
+		t := make(Tuple, len(parts)-1)
+		for i, p := range parts[1:] {
+			v, err := decodeValue(p)
+			if err != nil {
+				return out, fmt.Errorf("relation: line %d: %v", line, err)
+			}
+			t[i] = v
+		}
+		id := TupleID(idU)
+		if err := cur.insertWithID(id, t); err != nil {
+			return out, fmt.Errorf("relation: line %d: %v", line, err)
+		}
+		out = append(out, RestoredTuple{Class: curName, ID: id, Tuple: t})
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// insertWithID stores a tuple under a specific ID (restore path only).
+func (r *Relation) insertWithID(id TupleID, t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("relation %s: arity mismatch", r.Name())
+	}
+	ct := t.Clone()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.tuples[id]; dup {
+		return fmt.Errorf("relation %s: duplicate tuple id %d", r.Name(), id)
+	}
+	r.tuples[id] = ct
+	// Keep the id slice sorted.
+	i := len(r.ids)
+	for i > 0 && r.ids[i-1] > id {
+		i--
+	}
+	r.ids = append(r.ids, 0)
+	copy(r.ids[i+1:], r.ids[i:])
+	r.ids[i] = id
+	if id > r.next {
+		r.next = id
+	}
+	for pos, ix := range r.indexes {
+		ix.add(ct[pos], id)
+	}
+	return nil
+}

@@ -1,0 +1,385 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"prodsys/internal/metrics"
+	"prodsys/internal/value"
+)
+
+// TupleID identifies a stored tuple within one relation. IDs are assigned
+// monotonically and never reused, so they double as insertion timestamps
+// (the "recency" used by OPS5-style conflict resolution).
+type TupleID uint64
+
+// DefaultPageSize is the simulated number of tuples per disk page used for
+// I/O accounting.
+const DefaultPageSize = 32
+
+// Relation is a stored relation: a bag of tuples addressable by TupleID,
+// with optional per-attribute hash indexes. All methods are safe for
+// concurrent use.
+type Relation struct {
+	schema   *Schema
+	pageSize int
+	stats    *metrics.Set
+
+	mu      sync.RWMutex
+	tuples  map[TupleID]Tuple
+	ids     []TupleID // maintained sorted ascending
+	indexes map[int]*hashIndex
+	next    TupleID
+}
+
+// hashIndex maps a normalized attribute value to the set of tuple IDs
+// carrying it.
+type hashIndex struct {
+	entries map[value.V]map[TupleID]struct{}
+}
+
+func newHashIndex() *hashIndex {
+	return &hashIndex{entries: make(map[value.V]map[TupleID]struct{})}
+}
+
+func (ix *hashIndex) add(v value.V, id TupleID) {
+	k := v.Key()
+	set := ix.entries[k]
+	if set == nil {
+		set = make(map[TupleID]struct{})
+		ix.entries[k] = set
+	}
+	set[id] = struct{}{}
+}
+
+func (ix *hashIndex) remove(v value.V, id TupleID) {
+	k := v.Key()
+	if set := ix.entries[k]; set != nil {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(ix.entries, k)
+		}
+	}
+}
+
+func (ix *hashIndex) lookup(v value.V) map[TupleID]struct{} {
+	return ix.entries[v.Key()]
+}
+
+// New creates an empty relation over schema. stats may be nil.
+func New(schema *Schema, stats *metrics.Set) *Relation {
+	return &Relation{
+		schema:   schema,
+		pageSize: DefaultPageSize,
+		stats:    stats,
+		tuples:   make(map[TupleID]Tuple),
+		indexes:  make(map[int]*hashIndex),
+	}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.schema.Name() }
+
+// Len returns the current tuple count.
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tuples)
+}
+
+// CreateIndex builds (idempotently) a hash index on the attribute at
+// position pos.
+func (r *Relation) CreateIndex(pos int) error {
+	if pos < 0 || pos >= r.schema.Arity() {
+		return fmt.Errorf("relation %s: index position %d out of range", r.Name(), pos)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.indexes[pos]; exists {
+		return nil
+	}
+	ix := newHashIndex()
+	for id, t := range r.tuples {
+		ix.add(t[pos], id)
+	}
+	r.indexes[pos] = ix
+	return nil
+}
+
+// HasIndex reports whether an index exists on attribute position pos.
+func (r *Relation) HasIndex(pos int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.indexes[pos]
+	return ok
+}
+
+// Insert stores tuple t and returns its new ID. The tuple is cloned, so
+// callers may reuse the slice.
+func (r *Relation) Insert(t Tuple) (TupleID, error) {
+	if len(t) != r.schema.Arity() {
+		return 0, fmt.Errorf("relation %s: arity mismatch: tuple has %d values, schema needs %d",
+			r.Name(), len(t), r.schema.Arity())
+	}
+	ct := t.Clone()
+	r.mu.Lock()
+	r.next++
+	id := r.next
+	r.tuples[id] = ct
+	r.ids = append(r.ids, id) // ids are assigned in increasing order, so the slice stays sorted
+	for pos, ix := range r.indexes {
+		ix.add(ct[pos], id)
+	}
+	r.mu.Unlock()
+	r.stats.Inc(metrics.TuplesInserted)
+	r.stats.Inc(metrics.PagesWritten)
+	return id, nil
+}
+
+// Get returns the tuple stored under id.
+func (r *Relation) Get(id TupleID) (Tuple, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tuples[id]
+	if !ok {
+		return nil, false
+	}
+	return t.Clone(), true
+}
+
+// Delete removes the tuple stored under id, returning the removed tuple.
+func (r *Relation) Delete(id TupleID) (Tuple, error) {
+	r.mu.Lock()
+	t, ok := r.tuples[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("relation %s: delete of unknown tuple id %d", r.Name(), id)
+	}
+	delete(r.tuples, id)
+	if i := r.findID(id); i >= 0 {
+		r.ids = append(r.ids[:i], r.ids[i+1:]...)
+	}
+	for pos, ix := range r.indexes {
+		ix.remove(t[pos], id)
+	}
+	r.mu.Unlock()
+	r.stats.Inc(metrics.TuplesDeleted)
+	r.stats.Inc(metrics.PagesWritten)
+	return t, nil
+}
+
+// findID binary-searches the sorted id slice. Caller holds mu.
+func (r *Relation) findID(id TupleID) int {
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	if i < len(r.ids) && r.ids[i] == id {
+		return i
+	}
+	return -1
+}
+
+// Scan visits every tuple in ascending TupleID order until fn returns
+// false. The visited tuples are the live ones at call time; fn must not
+// mutate the relation.
+func (r *Relation) Scan(fn func(id TupleID, t Tuple) bool) {
+	r.mu.RLock()
+	ids := append([]TupleID(nil), r.ids...)
+	n := len(ids)
+	r.mu.RUnlock()
+	r.accountScan(n)
+	for _, id := range ids {
+		r.mu.RLock()
+		t, ok := r.tuples[id]
+		r.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		r.stats.Inc(metrics.TuplesScanned)
+		if !fn(id, t) {
+			return
+		}
+	}
+}
+
+// accountScan charges simulated page reads for touching n tuples.
+func (r *Relation) accountScan(n int) {
+	if n == 0 {
+		return
+	}
+	r.stats.Add(metrics.PagesRead, int64((n+r.pageSize-1)/r.pageSize))
+}
+
+// SelectEq returns the IDs of tuples whose attribute at pos equals v,
+// using a hash index when available and a scan otherwise. Results are in
+// ascending ID order.
+func (r *Relation) SelectEq(pos int, v value.V) []TupleID {
+	r.mu.RLock()
+	ix := r.indexes[pos]
+	if ix != nil {
+		set := ix.lookup(v)
+		out := make([]TupleID, 0, len(set))
+		for id := range set {
+			// Hash equality collapses Int/Float and Str/Sym the same way
+			// value.Equal does, so no re-check is needed.
+			out = append(out, id)
+		}
+		r.mu.RUnlock()
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		r.stats.Inc(metrics.IndexLookups)
+		r.stats.Inc(metrics.PagesRead)
+		return out
+	}
+	r.mu.RUnlock()
+	var out []TupleID
+	r.Scan(func(id TupleID, t Tuple) bool {
+		if value.Equal(t[pos], v) {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// Select returns IDs of tuples satisfying every restriction. When an
+// equality restriction has an index the engine probes it and filters;
+// otherwise it scans.
+func (r *Relation) Select(rs []Restriction) []TupleID {
+	// Pick an indexed equality restriction as the access path.
+	probe := -1
+	for i, c := range rs {
+		if c.Op == value.OpEq && r.HasIndex(c.Pos) {
+			probe = i
+			break
+		}
+	}
+	var out []TupleID
+	if probe >= 0 {
+		for _, id := range r.SelectEq(rs[probe].Pos, rs[probe].Val) {
+			t, ok := r.Get(id)
+			if !ok {
+				continue
+			}
+			r.stats.Inc(metrics.TuplesScanned)
+			if SatisfiesAll(t, rs) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	r.Scan(func(id TupleID, t Tuple) bool {
+		if SatisfiesAll(t, rs) {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// SelectTuples is Select but materializes the tuples alongside their IDs.
+func (r *Relation) SelectTuples(rs []Restriction) (ids []TupleID, tuples []Tuple) {
+	ids = r.Select(rs)
+	tuples = make([]Tuple, len(ids))
+	for i, id := range ids {
+		t, _ := r.Get(id)
+		tuples[i] = t
+	}
+	return ids, tuples
+}
+
+// FindEqual returns the ID of some live tuple value-equal to t, for
+// delete-by-value semantics (OPS5 remove addresses the matched element;
+// the DBMS translation deletes an equal tuple).
+func (r *Relation) FindEqual(t Tuple) (TupleID, bool) {
+	var found TupleID
+	ok := false
+	r.Scan(func(id TupleID, u Tuple) bool {
+		if u.Equal(t) {
+			found, ok = id, true
+			return false
+		}
+		return true
+	})
+	return found, ok
+}
+
+// Clear removes all tuples but keeps indexes and the ID counter.
+func (r *Relation) Clear() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tuples = make(map[TupleID]Tuple)
+	r.ids = nil
+	for pos := range r.indexes {
+		r.indexes[pos] = newHashIndex()
+	}
+}
+
+// DB is a catalog of relations sharing one metrics set.
+type DB struct {
+	mu    sync.RWMutex
+	rels  map[string]*Relation
+	stats *metrics.Set
+}
+
+// NewDB creates an empty catalog. stats may be nil.
+func NewDB(stats *metrics.Set) *DB {
+	return &DB{rels: make(map[string]*Relation), stats: stats}
+}
+
+// Stats returns the catalog's metrics set.
+func (db *DB) Stats() *metrics.Set { return db.stats }
+
+// Create adds a new relation; it is an error if the name exists.
+func (db *DB) Create(name string, attrs ...string) (*Relation, error) {
+	schema, err := NewSchema(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.rels[name]; dup {
+		return nil, fmt.Errorf("relation %s already exists", name)
+	}
+	r := New(schema, db.stats)
+	db.rels[name] = r
+	return r, nil
+}
+
+// Get returns the named relation.
+func (db *DB) Get(name string) (*Relation, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// MustGet returns the named relation, panicking if absent; for callers
+// that have already validated the catalog against the rule set.
+func (db *DB) MustGet(name string) *Relation {
+	r, ok := db.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("relation %s not in catalog", name))
+	}
+	return r
+}
+
+// Drop removes the named relation from the catalog.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.rels, name)
+}
+
+// Names returns the catalog's relation names in sorted order.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

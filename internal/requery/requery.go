@@ -1,0 +1,122 @@
+// Package requery implements the paper's simplified algorithm (§4.1):
+// no intermediate storage at all. One COND relation per working-memory
+// class records the condition elements referring to that class; every WM
+// change searches the COND relation and re-evaluates the affected rules'
+// LHS joins against the base WM relations.
+//
+// The trade-off is exactly the one the paper states: minimal space (no
+// matching patterns, no tokens) against join recomputation on every
+// change. It also serves as the correctness oracle for the other
+// matchers, being a direct transcription of the declarative semantics.
+package requery
+
+import (
+	"fmt"
+
+	"prodsys/internal/conflict"
+	"prodsys/internal/joiner"
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+	"prodsys/internal/rules"
+)
+
+// Matcher is the simplified re-evaluation matcher.
+type Matcher struct {
+	set   *rules.Set
+	db    *relation.DB
+	cs    *conflict.Set
+	stats *metrics.Set
+}
+
+// New builds the matcher over the engine's WM catalog. The catalog must
+// already contain a relation per declared class (rules.BuildDB). stats
+// may be nil.
+func New(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set) *Matcher {
+	return &Matcher{set: set, db: db, cs: cs, stats: stats}
+}
+
+// Name implements match.Matcher.
+func (m *Matcher) Name() string { return "requery" }
+
+// ConflictSet implements match.Matcher.
+func (m *Matcher) ConflictSet() *conflict.Set { return m.cs }
+
+// Insert implements match.Matcher. The WM relation already contains the
+// tuple. Each condition element on the class (one COND-relation search)
+// either seeds a join re-evaluation (positive CE) or retracts
+// instantiations it now blocks (negated CE).
+func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) error {
+	for _, ce := range m.set.ByClass[class] {
+		m.stats.Inc(metrics.PatternSearches)
+		if ce.Negated {
+			m.retractBlocked(ce, t)
+			continue
+		}
+		if !ce.MatchAlpha(t) {
+			continue
+		}
+		m.deriveWithFixed(ce, id, t)
+	}
+	return nil
+}
+
+// Delete implements match.Matcher. The WM relation no longer contains the
+// tuple. Instantiations supported by it are retracted; rules negatively
+// dependent on the class are re-derived, since the deletion may have
+// unblocked them.
+func (m *Matcher) Delete(class string, id relation.TupleID, _ relation.Tuple) error {
+	m.cs.RemoveByTuple(class, id)
+	seen := map[*rules.Rule]bool{}
+	for _, ce := range m.set.ByClass[class] {
+		m.stats.Inc(metrics.PatternSearches)
+		if !ce.Negated || seen[ce.Rule] {
+			continue
+		}
+		seen[ce.Rule] = true
+		m.deriveAll(ce.Rule)
+	}
+	return nil
+}
+
+// deriveWithFixed evaluates ce.Rule's LHS with ce pinned to the new
+// tuple, adding every resulting instantiation.
+func (m *Matcher) deriveWithFixed(ce *rules.CE, id relation.TupleID, t relation.Tuple) {
+	fixed := map[int]joiner.Fixed{ce.Index: {ID: id, Tuple: t}}
+	joiner.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+		m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
+	})
+}
+
+// deriveAll re-evaluates a rule from scratch (used when a blocker of a
+// negated condition element disappears).
+func (m *Matcher) deriveAll(r *rules.Rule) {
+	joiner.Enumerate(m.db, r, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+		m.cs.Add(&conflict.Instantiation{Rule: r, TupleIDs: ids, Tuples: tuples, Bindings: b})
+	})
+}
+
+// retractBlocked removes instantiations of ce.Rule whose bindings the new
+// tuple now satisfies at the negated condition element.
+func (m *Matcher) retractBlocked(ce *rules.CE, t relation.Tuple) {
+	m.cs.RemoveWhere(func(in *conflict.Instantiation) bool {
+		if in.Rule != ce.Rule {
+			return false
+		}
+		_, blocked := ce.MatchWith(t, in.Bindings)
+		return blocked
+	})
+}
+
+// Rederive rebuilds the whole conflict set from the current WM contents;
+// used by tests as the declarative ground truth.
+func (m *Matcher) Rederive() {
+	m.cs.RemoveWhere(func(*conflict.Instantiation) bool { return true })
+	for _, r := range m.set.Rules {
+		m.deriveAll(r)
+	}
+}
+
+// String describes the matcher.
+func (m *Matcher) String() string {
+	return fmt.Sprintf("requery(%d rules)", len(m.set.Rules))
+}

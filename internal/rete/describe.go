@@ -1,0 +1,98 @@
+package rete
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Describe renders the compiled discrimination network as indented text,
+// reproducing the structure of the paper's Figures 1 and 3: the root,
+// the one-input (alpha) chains per class, and each rule's chain of
+// two-input join nodes down to its production node. Shared alpha memories
+// are listed once with every successor.
+func (net *Network) Describe() string {
+	var b strings.Builder
+	b.WriteString("root\n")
+	classes := make([]string, 0, len(net.alphaByClass))
+	for c := range net.alphaByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Fprintf(&b, "├─ class %s\n", class)
+		ams := net.alphaByClass[class]
+		for _, am := range ams {
+			cond := strings.TrimPrefix(am.signature, class+"§")
+			if cond == "" {
+				cond = "(no one-input tests)"
+			}
+			fmt.Fprintf(&b, "│  ├─ one-input chain %s → alpha memory [%d WMEs]\n", cond, len(am.items))
+			for _, s := range am.successors {
+				switch n := s.(type) {
+				case *joinNode:
+					fmt.Fprintf(&b, "│  │   └─ two-input node (CE %d of %s, %d join tests)\n",
+						n.ce+1, ruleOf(n), len(n.tests))
+				case *negativeNode:
+					fmt.Fprintf(&b, "│  │   └─ negative node (CE %d, %d join tests)\n",
+						n.ce+1, len(n.tests))
+				}
+			}
+		}
+	}
+	b.WriteString("production nodes:\n")
+	for _, pn := range net.pnodes {
+		fmt.Fprintf(&b, "└─ P[%s] (%d condition elements, %d live instantiations)\n",
+			pn.rule.Name, len(pn.rule.CEs), len(pn.items))
+	}
+	return b.String()
+}
+
+// ruleOf names the rule a join node belongs to by following its chain to
+// the production node.
+func ruleOf(j *joinNode) string {
+	switch c := j.child.(type) {
+	case *pnode:
+		return c.rule.Name
+	case *betaMemory:
+		for _, ch := range c.children {
+			switch n := ch.(type) {
+			case *joinNode:
+				return ruleOf(n)
+			case *negativeNode:
+				return ruleOfNeg(n)
+			case *pnode:
+				return n.rule.Name
+			}
+		}
+	case *negativeNode:
+		return ruleOfNeg(c)
+	}
+	return "?"
+}
+
+func ruleOfNeg(n *negativeNode) string {
+	for _, ch := range n.children {
+		switch c := ch.(type) {
+		case *joinNode:
+			return ruleOf(c)
+		case *pnode:
+			return c.rule.Name
+		case *negativeNode:
+			return ruleOfNeg(c)
+		}
+	}
+	return "?"
+}
+
+// Depth returns the length of the longest join chain in the network —
+// the propagation depth the paper's Figure 1 visualizes and E1 measures.
+func (net *Network) Depth() int {
+	max := 0
+	for _, pn := range net.pnodes {
+		if n := len(pn.rule.CEs); n > max {
+			max = n
+		}
+	}
+	return max
+}

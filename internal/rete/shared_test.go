@@ -1,0 +1,162 @@
+package rete
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"prodsys/internal/conflict"
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+	"prodsys/internal/rules"
+	"prodsys/internal/value"
+)
+
+// prefixSharingSrc: three rules sharing their first two condition
+// elements, diverging on the third.
+const prefixSharingSrc = `
+(literalize Goal type object)
+(literalize Expression name arg1 op arg2)
+(literalize Ctx mode)
+
+(p PlusOX
+    (Goal ^type Simplify ^object <N>)
+    (Expression ^name <N> ^arg1 0 ^op + ^arg2 <X>)
+  -->
+    (modify 2 ^op nil ^arg1 nil))
+
+(p PlusOXLogged
+    (Goal ^type Simplify ^object <N>)
+    (Expression ^name <N> ^arg1 0 ^op + ^arg2 <X>)
+    (Ctx ^mode verbose)
+  -->
+    (modify 2 ^op nil ^arg1 nil))
+
+(p PlusOXStrict
+    (Goal ^type Simplify ^object <N>)
+    (Expression ^name <N> ^arg1 0 ^op + ^arg2 <X>)
+    (Ctx ^mode strict)
+  -->
+    (remove 2))
+`
+
+func buildBoth(t *testing.T, src string) (plain, shared *Network, plainStats, sharedStats *metrics.Set) {
+	t.Helper()
+	set, _, err := rules.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainStats, sharedStats = &metrics.Set{}, &metrics.Set{}
+	plain = New(set, conflict.NewSet(nil), plainStats)
+	// Compile a second, independent set for the shared network so rule
+	// pointers differ but semantics match.
+	set2, _, err := rules.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared = NewShared(set2, conflict.NewSet(nil), sharedStats)
+	return plain, shared, plainStats, sharedStats
+}
+
+func feedBoth(a, b *Network, class string, id relation.TupleID, t relation.Tuple) {
+	a.Insert(class, id, t)
+	b.Insert(class, id, t)
+}
+
+func TestSharedNetworkNameAndEquivalence(t *testing.T) {
+	plain, shared, _, _ := buildBoth(t, prefixSharingSrc)
+	if plain.Name() != "rete" || shared.Name() != "rete-shared" {
+		t.Fatalf("names: %q %q", plain.Name(), shared.Name())
+	}
+	feedBoth(plain, shared, "Goal", 1, relation.Tuple{value.OfSym("Simplify"), value.OfSym("e1")})
+	feedBoth(plain, shared, "Expression", 1, relation.Tuple{value.OfSym("e1"), value.OfInt(0), value.OfSym("+"), value.OfInt(7)})
+	feedBoth(plain, shared, "Ctx", 1, relation.Tuple{value.OfSym("verbose")})
+	if !reflect.DeepEqual(plain.cs.Keys(), shared.cs.Keys()) {
+		t.Fatalf("conflict sets differ:\nplain:  %v\nshared: %v", plain.cs.Keys(), shared.cs.Keys())
+	}
+	if plain.cs.Len() != 2 { // PlusOX and PlusOXLogged
+		t.Fatalf("conflict set = %v", plain.cs.Keys())
+	}
+	// Deletion equivalence.
+	plain.Delete("Expression", 1, nil)
+	shared.Delete("Expression", 1, nil)
+	if plain.cs.Len() != 0 || shared.cs.Len() != 0 {
+		t.Fatalf("retraction: plain=%v shared=%v", plain.cs.Keys(), shared.cs.Keys())
+	}
+}
+
+func TestSharedNetworkSavesActivations(t *testing.T) {
+	plain, shared, ps, ss := buildBoth(t, prefixSharingSrc)
+	for i := 1; i <= 20; i++ {
+		g := relation.Tuple{value.OfSym("Simplify"), value.OfSym(fmt.Sprintf("e%d", i))}
+		x := relation.Tuple{value.OfSym(fmt.Sprintf("e%d", i)), value.OfInt(0), value.OfSym("+"), value.OfInt(int64(i))}
+		feedBoth(plain, shared, "Goal", relation.TupleID(i), g)
+		feedBoth(plain, shared, "Expression", relation.TupleID(i), x)
+	}
+	pa := ps.Get(metrics.NodeActivations)
+	sa := ss.Get(metrics.NodeActivations)
+	if sa >= pa {
+		t.Fatalf("sharing should reduce activations: plain=%d shared=%d", pa, sa)
+	}
+	pt := plain.TokenCount()
+	st := shared.TokenCount()
+	if st >= pt {
+		t.Fatalf("sharing should reduce stored tokens: plain=%d shared=%d", pt, st)
+	}
+}
+
+func TestSharedNetworkDivergentSuffixIndependent(t *testing.T) {
+	_, shared, _, _ := buildBoth(t, prefixSharingSrc)
+	shared.Insert("Goal", 1, relation.Tuple{value.OfSym("Simplify"), value.OfSym("e1")})
+	shared.Insert("Expression", 1, relation.Tuple{value.OfSym("e1"), value.OfInt(0), value.OfSym("+"), value.OfInt(7)})
+	shared.Insert("Ctx", 1, relation.Tuple{value.OfSym("strict")})
+	keys := shared.cs.Keys()
+	want := []string{"PlusOXStrict|1|1|1", "PlusOX|1|1"} // Keys() sorts lexically
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+}
+
+func TestSharedNetworkWithNegationPrefix(t *testing.T) {
+	src := `
+(literalize A x)
+(literalize B x)
+(literalize C x)
+(p R1 (A ^x <v>) - (B ^x <v>) --> (halt))
+(p R2 (A ^x <v>) - (B ^x <v>) (C ^x <v>) --> (halt))
+`
+	plain, shared, _, _ := buildBoth(t, src)
+	feedBoth(plain, shared, "A", 1, relation.Tuple{value.OfInt(5)})
+	feedBoth(plain, shared, "C", 1, relation.Tuple{value.OfInt(5)})
+	if !reflect.DeepEqual(plain.cs.Keys(), shared.cs.Keys()) {
+		t.Fatalf("plain %v vs shared %v", plain.cs.Keys(), shared.cs.Keys())
+	}
+	// Blocker retracts both rules in both networks.
+	feedBoth(plain, shared, "B", 1, relation.Tuple{value.OfInt(5)})
+	if plain.cs.Len() != 0 || shared.cs.Len() != 0 {
+		t.Fatalf("blocker: plain %v vs shared %v", plain.cs.Keys(), shared.cs.Keys())
+	}
+	feedBoth(plain, shared, "B", 2, relation.Tuple{value.OfInt(9)})
+	plain.Delete("B", 1, nil)
+	shared.Delete("B", 1, nil)
+	if !reflect.DeepEqual(plain.cs.Keys(), shared.cs.Keys()) {
+		t.Fatalf("unblock: plain %v vs shared %v", plain.cs.Keys(), shared.cs.Keys())
+	}
+}
+
+func TestSharedChainCacheSize(t *testing.T) {
+	set, _, err := rules.CompileSource(prefixSharingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewShared(set, conflict.NewSet(nil), nil)
+	// Distinct prefixes: [Goal], [Goal,Expr], [Goal,Expr,Ctx=verbose],
+	// [Goal,Expr,Ctx=strict] = 4.
+	if got := len(shared.chains); got != 4 {
+		t.Fatalf("cached chain steps = %d, want 4", got)
+	}
+	plain := New(set, conflict.NewSet(nil), nil)
+	if len(plain.chains) != 0 {
+		t.Fatal("plain network must not cache chains")
+	}
+}

@@ -1,0 +1,47 @@
+package rules
+
+import (
+	"testing"
+
+	"prodsys/internal/relation"
+	"prodsys/internal/value"
+)
+
+func TestCompileDisjunction(t *testing.T) {
+	set := compile(t, `
+(literalize Light color brightness)
+(p stop (Light ^color << red amber >> ^brightness > 5) --> (halt))`)
+	r, _ := set.RuleByName("stop")
+	ce := r.CEs[0]
+	if len(ce.Disj) != 1 || ce.Disj[0].Pos != 0 || len(ce.Disj[0].Vals) != 2 {
+		t.Fatalf("Disj = %+v", ce.Disj)
+	}
+	if !ce.MatchAlpha(relation.Tuple{value.OfSym("red"), value.OfInt(9)}) {
+		t.Error("red/9 should pass")
+	}
+	if !ce.MatchAlpha(relation.Tuple{value.OfSym("amber"), value.OfInt(9)}) {
+		t.Error("amber/9 should pass")
+	}
+	if ce.MatchAlpha(relation.Tuple{value.OfSym("green"), value.OfInt(9)}) {
+		t.Error("green should fail the disjunction")
+	}
+	if ce.MatchAlpha(relation.Tuple{value.OfSym("red"), value.OfInt(3)}) {
+		t.Error("brightness 3 should fail")
+	}
+	if r.Specificity != 2 {
+		t.Errorf("specificity = %d", r.Specificity)
+	}
+}
+
+func TestDisjTestSatisfies(t *testing.T) {
+	d := DisjTest{Pos: 0, Vals: []value.V{value.OfInt(1), value.OfInt(2)}}
+	if !d.Satisfies(relation.Tuple{value.OfFloat(2.0)}) {
+		t.Error("numeric coercion inside disjunction")
+	}
+	if d.Satisfies(relation.Tuple{value.OfInt(3)}) {
+		t.Error("3 not in {1,2}")
+	}
+	if (DisjTest{Pos: 5}).Satisfies(relation.Tuple{value.OfInt(1)}) {
+		t.Error("out of range")
+	}
+}

@@ -1,0 +1,88 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prodsys/internal/relation"
+	"prodsys/internal/value"
+)
+
+// TestMatchConsistencyProperty: for random tuples, MatchWith success
+// implies MatchPattern success under the same bindings (the pattern
+// semantics only relaxes), and both agree with MatchAlpha on
+// constant-only condition elements.
+func TestMatchConsistencyProperty(t *testing.T) {
+	set := compile(t, `
+(literalize R a b c)
+(p full (R ^a > 10 ^b <x> ^c {<y> < <x>}) --> (halt))
+(p flat (R ^a 5 ^b 6) --> (halt))`)
+	full, _ := set.RuleByName("full")
+	flat, _ := set.RuleByName("flat")
+	f := func(a, b, c int64) bool {
+		tup := relation.Tuple{value.OfInt(a % 50), value.OfInt(b % 50), value.OfInt(c % 50)}
+		ceFull := full.CEs[0]
+		if _, ok := ceFull.MatchWith(tup, Bindings{}); ok {
+			if _, pok := ceFull.MatchPattern(tup, Bindings{}); !pok {
+				return false // pattern match must be a relaxation
+			}
+		}
+		ceFlat := flat.CEs[0]
+		_, wok := ceFlat.MatchWith(tup, Bindings{})
+		if wok != ceFlat.MatchAlpha(tup) {
+			return false // constant-only CE: alpha is the whole test
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRestrictionsSoundProperty: tuples returned by a selection with
+// ce.Restrictions(b) must be exactly those accepted by MatchWith when
+// every variable is bound.
+func TestRestrictionsSoundProperty(t *testing.T) {
+	set := compile(t, `
+(literalize Emp name salary dno)
+(literalize Dept dno)
+(p r (Dept ^dno <d>) (Emp ^salary > 100 ^dno <d> ^name <n>) --> (halt))`)
+	r, _ := set.RuleByName("r")
+	ce := r.CEs[1]
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		b := Bindings{"d": value.OfInt(int64(rng.Intn(5)))}
+		tup := relation.Tuple{
+			value.OfSym("e"),
+			value.OfInt(int64(rng.Intn(300))),
+			value.OfInt(int64(rng.Intn(5))),
+		}
+		rs, free := ce.Restrictions(b)
+		if len(free) != 1 || free[0] != "n" {
+			t.Fatalf("free = %v", free)
+		}
+		_, mok := ce.MatchWith(tup, b)
+		sok := relation.SatisfiesAll(tup, rs)
+		if mok != sok {
+			t.Fatalf("MatchWith=%v SatisfiesAll=%v for %v under %v", mok, sok, tup, b)
+		}
+	}
+}
+
+// TestBindingsKeyProperty: Key is order-insensitive and injective up to
+// value equality for small random binding sets.
+func TestBindingsKeyProperty(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		x := Bindings{"a": value.OfInt(a), "b": value.OfInt(b), "c": value.OfInt(c)}
+		y := Bindings{"c": value.OfInt(c), "a": value.OfInt(a), "b": value.OfInt(b)}
+		if x.Key() != y.Key() {
+			return false
+		}
+		z := Bindings{"a": value.OfInt(a + 1), "b": value.OfInt(b), "c": value.OfInt(c)}
+		return x.Key() != z.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"prodsys/internal/rules"
+)
+
+func mustCompile(t *testing.T, src string) *rules.Set {
+	t.Helper()
+	set, _, err := rules.CompileSource(src)
+	if err != nil {
+		t.Fatalf("workload source does not compile: %v\n%s", err, src)
+	}
+	return set
+}
+
+func TestPayrollRulesCompile(t *testing.T) {
+	for _, consuming := range []bool{true, false} {
+		set := mustCompile(t, PayrollRules(25, consuming))
+		if len(set.Rules) != 25 {
+			t.Fatalf("rules = %d", len(set.Rules))
+		}
+	}
+}
+
+func TestPayrollOpsDeterministic(t *testing.T) {
+	a := PayrollOps(7, 200, 0.2)
+	b := PayrollOps(7, 200, 0.2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give same stream")
+	}
+	if len(a) != 200 {
+		t.Fatalf("ops = %d", len(a))
+	}
+	var deletes int
+	for _, op := range a {
+		if op.Delete {
+			deletes++
+			if op.Tuple != nil {
+				t.Fatal("delete op carries a tuple")
+			}
+		} else if op.Tuple == nil {
+			t.Fatal("insert op lacks tuple")
+		}
+	}
+	if deletes == 0 {
+		t.Fatal("stream should include deletes")
+	}
+}
+
+func TestChainRulesCompileAndLink(t *testing.T) {
+	for _, n := range []int{2, 4, 16} {
+		set := mustCompile(t, ChainRules(n))
+		r := set.Rules[0]
+		if len(r.CEs) != n {
+			t.Fatalf("chain(%d) has %d CEs", n, len(r.CEs))
+		}
+	}
+	cls, tup := ChainLink(3, 2)
+	if cls != "K2" || tup[0].AsInt() != 3002 || tup[1].AsInt() != 3003 {
+		t.Fatalf("ChainLink = %s %v", cls, tup)
+	}
+}
+
+func TestSimplifyWorkload(t *testing.T) {
+	mustCompile(t, SimplifyRules())
+	ops := SimplifyFacts(3, 50, 0.5)
+	if len(ops) != 100 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	var simplifiable int
+	for _, op := range ops {
+		if op.Class == "Expression" && op.Tuple[1].AsInt() == 0 {
+			simplifiable++
+		}
+	}
+	if simplifiable < 10 || simplifiable > 40 {
+		t.Fatalf("simplifiable fraction off: %d/50", simplifiable)
+	}
+}
+
+func TestOverlapRules(t *testing.T) {
+	tight := mustCompile(t, OverlapRules(10, 0))
+	wide := mustCompile(t, OverlapRules(10, 0.9))
+	if len(tight.Rules) != 10 || len(wide.Rules) != 10 {
+		t.Fatal("rule counts")
+	}
+	ops := OverlapOps(1, 100)
+	if len(ops) != 105 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	if ops[0].Class != "Dept" {
+		t.Fatal("departments must come first")
+	}
+}
+
+func TestTaskWorkload(t *testing.T) {
+	spread := mustCompile(t, TaskRules(4, false))
+	if len(spread.Classes) != 5 { // 4 task classes + Done
+		t.Fatalf("classes = %d", len(spread.Classes))
+	}
+	skewed := mustCompile(t, TaskRules(4, true))
+	if len(skewed.Classes) != 2 { // T0 + Done
+		t.Fatalf("skewed classes = %d", len(skewed.Classes))
+	}
+	facts := TaskFacts(4, false, 12)
+	seen := map[string]int{}
+	for _, op := range facts {
+		seen[op.Class]++
+	}
+	if len(seen) != 4 || seen["T0"] != 3 {
+		t.Fatalf("fact spread = %v", seen)
+	}
+	skFacts := TaskFacts(4, true, 12)
+	for _, op := range skFacts {
+		if op.Class != "T0" {
+			t.Fatal("skewed facts must target T0")
+		}
+	}
+}
+
+func TestManufacturingWorkload(t *testing.T) {
+	mustCompile(t, ManufacturingRules())
+	facts := ManufacturingFacts(5)
+	if len(facts) != 8 {
+		t.Fatalf("facts = %d", len(facts))
+	}
+}

@@ -1,0 +1,524 @@
+package prodsys
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const payrollSrc = `
+(literalize Emp name salary dno manager)
+(literalize Dept dno dname floor)
+
+(p overpaid
+    (Emp ^name <N> ^salary <S> ^manager <M>)
+    (Emp ^name <M> ^salary {<S1> < <S>})
+  -->
+    (remove 1))
+
+(Emp Mike 1000 1 Sam)
+(Emp Sam 900 1 Pat)
+(Emp Pat 2000 1 nobody)
+`
+
+func TestLoadAndRunEveryMatcher(t *testing.T) {
+	for _, m := range Matchers() {
+		t.Run(string(m), func(t *testing.T) {
+			sys, err := Load(payrollSrc, Options{Matcher: m, Out: io.Discard})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sys.MatcherName() != string(m) {
+				t.Errorf("MatcherName = %q", sys.MatcherName())
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Firings != 1 {
+				t.Fatalf("firings = %d", res.Firings)
+			}
+			if strings.Contains(sys.WM(), "Mike") {
+				t.Fatalf("Mike should be gone:\n%s", sys.WM())
+			}
+		})
+	}
+}
+
+func TestAssertRetractAndConflictKeys(t *testing.T) {
+	sys, err := Load(`
+(literalize A x y)
+(p pair (A ^x <v> ^y <v>) --> (halt))`, Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sys.Assert("A", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys := sys.ConflictKeys(); len(keys) != 1 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if err := sys.Retract("A", id); err != nil {
+		t.Fatal(err)
+	}
+	if keys := sys.ConflictKeys(); len(keys) != 0 {
+		t.Fatalf("keys after retract = %v", keys)
+	}
+	// Partial assert leaves trailing attributes unset.
+	if _, err := sys.Assert("A", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Assert("A", 1, 2, 3); err == nil {
+		t.Error("too many values should fail")
+	}
+	if _, err := sys.Assert("Ghost", 1); err == nil {
+		t.Error("unknown class should fail")
+	}
+	if _, err := sys.Assert("A", struct{}{}); err == nil {
+		t.Error("unsupported type should fail")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	sys, _ := Load(`(literalize A a b c d)
+(p f (A ^a <w> ^b <x> ^c <y>) --> (halt))`, Options{Out: io.Discard})
+	if _, err := sys.Assert("A", 1, int64(2), 2.5, "sym"); err != nil {
+		t.Fatal(err)
+	}
+	rows := sys.WMClass("A")
+	if len(rows) != 1 || !strings.Contains(rows[0], "2.5") || !strings.Contains(rows[0], "sym") {
+		t.Fatalf("rows = %v", rows)
+	}
+	if got := sys.WMClass("Ghost"); got != nil {
+		t.Fatalf("unknown class rows = %v", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(`(p R (Ghost ^x 1) --> (halt))`, Options{}); err == nil {
+		t.Error("compile error should propagate")
+	}
+	if _, err := Load(`(literalize A x)`, Options{Matcher: "bogus"}); err == nil {
+		t.Error("unknown matcher should fail")
+	}
+	if _, err := Load(`(literalize A x)`, Options{Strategy: "bogus"}); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	if _, err := Load(`(literalize A x) (Ghost 1)`, Options{}); err == nil {
+		t.Error("bad fact should fail")
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	for _, s := range []string{"fifo", "lex", "priority", "random"} {
+		if _, err := Load(`(literalize A x)`, Options{Strategy: s, Seed: 42}); err != nil {
+			t.Errorf("strategy %s: %v", s, err)
+		}
+	}
+}
+
+func TestClassesAndRuleNames(t *testing.T) {
+	sys, _ := Load(payrollSrc, Options{Out: io.Discard})
+	if got := sys.Classes(); !reflect.DeepEqual(got, []string{"Dept", "Emp"}) {
+		t.Fatalf("Classes = %v", got)
+	}
+	if got := sys.RuleNames(); !reflect.DeepEqual(got, []string{"overpaid"}) {
+		t.Fatalf("RuleNames = %v", got)
+	}
+}
+
+func TestStatsAndFormat(t *testing.T) {
+	sys, _ := Load(payrollSrc, Options{Out: io.Discard})
+	sys.Run()
+	stats := sys.Stats()
+	if stats["rule_firings"] != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+	out := FormatStats(stats, "rule_")
+	if !strings.Contains(out, "rule_firings") || strings.Contains(out, "tuples_inserted") {
+		t.Fatalf("FormatStats = %q", out)
+	}
+	if FormatStats(stats) == "" {
+		t.Error("unfiltered FormatStats empty")
+	}
+}
+
+func TestRulebaseQuery(t *testing.T) {
+	src := `
+(literalize Emp name age)
+(p old   (Emp ^age > 55) --> (halt))
+(p young (Emp ^age < 30) --> (halt))`
+	sys, err := Load(src, Options{Matcher: MatcherPTree, Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.RulebaseQuery("Emp", "age", 55, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "old" {
+		t.Fatalf("query = %v", got)
+	}
+	// Other matchers reject rulebase queries.
+	sys2, _ := Load(src, Options{Matcher: MatcherCore, Out: io.Discard})
+	if _, err := sys2.RulebaseQuery("Emp", "age", 55, nil); err == nil {
+		t.Error("non-ptree matcher should reject rulebase queries")
+	}
+}
+
+func TestViewsThroughFacade(t *testing.T) {
+	sys, err := Load(`
+(literalize Emp name dno)
+(literalize Dept dno dname)
+(p hire (Dept ^dno <d> ^dname Toy) - (Emp ^dno <d>) --> (make Emp ^name temp ^dno <d>))
+(Dept 7 Toy)
+`, Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, err := sys.AttachViews(`
+(literalize Emp name dno)
+(literalize Dept dno dname)
+(p staff (Emp ^name <n> ^dno <d>) (Dept ^dno <d> ^dname <m>) -->)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := views.Names(); len(names) != 1 || names[0] != "staff" {
+		t.Fatalf("view names = %v", names)
+	}
+	n, err := views.Len("staff")
+	if err != nil || n != 0 {
+		t.Fatalf("initial view size = %d, %v", n, err)
+	}
+	// Rule execution (the hire trigger) flows into the view.
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := views.Rows("staff")
+	if err != nil || len(rows) != 1 || !strings.Contains(rows[0], "n=temp") {
+		t.Fatalf("view rows = %v, %v", rows, err)
+	}
+	if _, err := views.Rows("ghost"); err == nil {
+		t.Error("unknown view should fail")
+	}
+	if _, err := views.Len("ghost"); err == nil {
+		t.Error("unknown view should fail")
+	}
+	// Pre-seeded contents: attach views on a system with existing WM.
+	sys2, _ := Load(`
+(literalize Emp name dno)
+(literalize Dept dno dname)
+(Emp Ann 7) (Dept 7 Toy)`, Options{Out: io.Discard})
+	views2, err := sys2.AttachViews(`
+(literalize Emp name dno)
+(literalize Dept dno dname)
+(p staff (Emp ^name <n> ^dno <d>) (Dept ^dno <d> ^dname <m>) -->)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := views2.Len("staff"); n != 1 {
+		rows, _ := views2.Rows("staff")
+		t.Fatalf("seeded view size = %d: %v", n, rows)
+	}
+}
+
+func TestWriteOutputThroughFacade(t *testing.T) {
+	var buf bytes.Buffer
+	sys, _ := Load(`
+(literalize A x)
+(p say (A ^x <v>) --> (write saw <v>))
+(A 9)`, Options{Out: &buf})
+	sys.Run()
+	if got := strings.TrimSpace(buf.String()); got != "saw 9" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestRunConcurrentFacade(t *testing.T) {
+	sys, err := Load(`
+(literalize Task id)
+(literalize Done id)
+(p fin (Task ^id <i>) --> (remove 1) (make Done ^id <i>))
+(Task 1) (Task 2) (Task 3) (Task 4)`, Options{Workers: 4, Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunConcurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings != 4 {
+		t.Fatalf("firings = %d", res.Firings)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/prog.ops"
+	if err := writeFile(path, `(literalize A x) (A 1)`); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := LoadFile(path, Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.WMClass("A")) != 1 {
+		t.Fatal("fact not loaded")
+	}
+	if _, err := LoadFile(dir+"/missing.ops", Options{}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestSaveRestoreWM(t *testing.T) {
+	src := `
+(literalize Emp name dno)
+(literalize Dept dno)
+(p orphan (Emp ^name <n> ^dno <d>) - (Dept ^dno <d>) --> (halt))
+(Emp Ann 7)
+(Emp Bob 9)
+(Dept 9)
+`
+	sys, err := Load(src, Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keysBefore := sys.ConflictKeys()
+	var buf bytes.Buffer
+	if err := sys.SaveWM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh system with the same rules but no facts, restored from the
+	// dump, must reach the same WM and conflict set.
+	fresh, err := Load(`
+(literalize Emp name dno)
+(literalize Dept dno)
+(p orphan (Emp ^name <n> ^dno <d>) - (Dept ^dno <d>) --> (halt))`, Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreWM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.WM() != sys.WM() {
+		t.Fatalf("WM mismatch:\n%s\nvs\n%s", fresh.WM(), sys.WM())
+	}
+	if !reflect.DeepEqual(fresh.ConflictKeys(), keysBefore) {
+		t.Fatalf("conflict set mismatch: %v vs %v", fresh.ConflictKeys(), keysBefore)
+	}
+	// File variants.
+	dir := t.TempDir()
+	path := dir + "/wm.dump"
+	if err := sys.SaveWMFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh2, _ := Load(`
+(literalize Emp name dno)
+(literalize Dept dno)`, Options{Out: io.Discard})
+	if err := fresh2.RestoreWMFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh2.WMClass("Emp")) != 2 {
+		t.Fatal("file restore lost tuples")
+	}
+	if err := fresh2.RestoreWMFile(dir + "/missing"); err == nil {
+		t.Error("missing dump file should fail")
+	}
+	if err := fresh2.SaveWMFile(dir + "/nope/deep/x"); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}
+
+// goldenRuns pins the end-to-end behaviour of the testdata corpus for
+// every matcher: firing counts and a WM fragment that must (not) appear.
+func TestGoldenCorpus(t *testing.T) {
+	cases := []struct {
+		file     string
+		strategy string
+		firings  int
+		contains []string
+		absent   []string
+	}{
+		{
+			file: "testdata/payroll.ops", strategy: "fifo", firings: 3,
+			contains: []string{"Emp(Sam", "Emp(Pat"},
+			absent:   []string{"Emp(Mike", "Emp(Ann", "Emp(Bob"},
+		},
+		{
+			file: "testdata/monkey.ops", strategy: "priority", firings: 5,
+			contains: []string{"Monkey(centre, ladder, bananas)", "Goal(bananas, satisfied)"},
+		},
+		{
+			file: "testdata/simplify.ops", strategy: "fifo", firings: 2,
+			contains: []string{"Expression(e1, nil, nil, 7)", "Expression(e2, nil, nil, 9)", "Expression(e3, 0, +, 5)"},
+		},
+	}
+	for _, tc := range cases {
+		for _, m := range Matchers() {
+			t.Run(tc.file+"/"+string(m), func(t *testing.T) {
+				sys, err := LoadFile(tc.file, Options{Matcher: m, Strategy: tc.strategy, Out: io.Discard})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Firings != tc.firings {
+					t.Fatalf("firings = %d, want %d", res.Firings, tc.firings)
+				}
+				wm := sys.WM()
+				for _, want := range tc.contains {
+					if !strings.Contains(wm, want) {
+						t.Errorf("WM missing %q:\n%s", want, wm)
+					}
+				}
+				for _, bad := range tc.absent {
+					if strings.Contains(wm, bad) {
+						t.Errorf("WM should not contain %q:\n%s", bad, wm)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestRegisterFuncThroughFacade(t *testing.T) {
+	sys, err := Load(`
+(literalize Alert level msg)
+(p page (Alert ^level critical ^msg <m>) --> (call page ops <m>) (remove 1))
+(Alert critical "disk full")
+(Alert info "all well")
+`, Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages []string
+	sys.RegisterFunc("page", func(args []string) error {
+		pages = append(pages, strings.Join(args, ": "))
+		return nil
+	})
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings != 1 {
+		t.Fatalf("firings = %d", res.Firings)
+	}
+	if len(pages) != 1 || pages[0] != "ops: disk full" {
+		t.Fatalf("pages = %v", pages)
+	}
+}
+
+const quelScript = `
+# The paper's §2.3 scenario as a QUEL script.
+create Emp (name, salary, dno)
+create Dept (dno, dname)
+range of E is Emp
+
+replace ALWAYS Emp (salary = E.salary)
+    where Emp.name = "Mike" and E.name = "Sam"
+
+append to Emp (name = "Sam", salary = 900, dno = 1)
+append to Emp (name = "Mike", salary = 500, dno = 1)
+append to Dept (dno = 1, dname = "Toy")
+`
+
+func TestLoadQuelPaperScenario(t *testing.T) {
+	sys, err := LoadQuel(quelScript, "", Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ALWAYS trigger equalized Mike to Sam during loading.
+	r, err := sys.Quel(`retrieve (E.salary) where E.name = "Mike"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0] != "900" {
+		t.Fatalf("Mike = %v", r.Rows)
+	}
+	// The paper's update statement re-fires the trigger.
+	upd, err := sys.Quel(`replace E (salary = 1000) where E.name = "Sam"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.Affected != 1 || upd.Fired == 0 {
+		t.Fatalf("update: %+v", upd)
+	}
+	r, _ = sys.Quel(`retrieve (E.name, E.salary)`)
+	joined := ""
+	for _, row := range r.Rows {
+		joined += strings.Join(row, "=") + ";"
+	}
+	if !strings.Contains(joined, "Mike=1000") || !strings.Contains(joined, "Sam=1000") {
+		t.Fatalf("final salaries: %v", r.Rows)
+	}
+}
+
+func TestLoadQuelWithExtraRules(t *testing.T) {
+	// QUEL schema + plain OPS5 rules side by side.
+	sys, err := LoadQuel(`
+create A (x)
+create Log (x)
+append to A (x = 5)
+`, `(p solo (A ^x > 3) --> (remove 1) (make Log ^x 1))`, Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DML statement ran the OPS5 rule to quiescence.
+	if n := len(sys.WMClass("Log")); n != 1 {
+		t.Fatalf("Log rows = %d", n)
+	}
+	if n := len(sys.WMClass("A")); n != 0 {
+		t.Fatalf("A rows = %d", n)
+	}
+}
+
+func TestLoadQuelErrors(t *testing.T) {
+	cases := []string{
+		`create A (x)
+create A (y)`,
+		`range of E is Ghost`,
+		`replace ALWAYS Ghost (x = 1)`,
+		`create A (x)
+retrieve (E.zzz)`,
+		`garbage statement`,
+	}
+	for _, src := range cases {
+		if _, err := LoadQuel(src, "", Options{Out: io.Discard}); err == nil {
+			t.Errorf("LoadQuel(%q) should fail", src)
+		}
+	}
+}
+
+func TestQuelOnOPSLoadedSystem(t *testing.T) {
+	// The QUEL interface also works on systems loaded from OPS5 source.
+	sys, err := Load(`
+(literalize Emp name salary)
+(Emp Ann 100)
+(Emp Bob 200)`, Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Quel(`range of E is Emp`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Quel(`retrieve (E.name) where E.salary > 150`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0] != "Bob" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if _, err := sys.Quel(`replace ALWAYS Emp (salary = 1)`); err == nil {
+		t.Error("runtime ALWAYS should be rejected")
+	}
+}
