@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test bench check fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# check is the extended verification: static analysis, formatting, and
+# the full test suite under the race detector.
+check:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -w .

@@ -40,7 +40,7 @@ func main() {
 	}
 	sys, err := prodsys.LoadFile(flag.Arg(0), prodsys.Options{
 		Matcher:    prodsys.Matcher(*matcher),
-		Strategy:   *strategy,
+		Strategy:   prodsys.Strategy(*strategy),
 		Seed:       *seed,
 		Workers:    *workers,
 		MaxFirings: *max,

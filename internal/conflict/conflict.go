@@ -113,32 +113,43 @@ func NewSet(stats *metrics.Set) *Set {
 
 // Add inserts an instantiation, returning false if it is already present.
 func (s *Set) Add(in *Instantiation) bool {
-	key := in.Key()
+	return s.AddAll([]*Instantiation{in}) == 1
+}
+
+// AddAll inserts a batch of instantiations under one lock acquisition —
+// the conflict set's side of set-oriented maintenance — and returns how
+// many were new.
+func (s *Set) AddAll(ins []*Instantiation) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.items[key]; dup {
-		return false
-	}
-	s.seq++
-	in.Seq = s.seq
-	s.items[key] = in
-	for i, id := range in.TupleIDs {
-		if in.Rule.CEs[i].Negated || id == 0 {
+	added := 0
+	for _, in := range ins {
+		key := in.Key()
+		if _, dup := s.items[key]; dup {
 			continue
 		}
-		ref := tupleRef{class: in.Rule.CEs[i].Class, id: id}
-		set := s.byTuple[ref]
-		if set == nil {
-			set = make(map[string]struct{})
-			s.byTuple[ref] = set
+		s.seq++
+		in.Seq = s.seq
+		s.items[key] = in
+		for i, id := range in.TupleIDs {
+			if in.Rule.CEs[i].Negated || id == 0 {
+				continue
+			}
+			ref := tupleRef{class: in.Rule.CEs[i].Class, id: id}
+			set := s.byTuple[ref]
+			if set == nil {
+				set = make(map[string]struct{})
+				s.byTuple[ref] = set
+			}
+			set[key] = struct{}{}
 		}
-		set[key] = struct{}{}
+		s.stats.Inc(metrics.Instantiations)
+		if s.observer != nil {
+			s.observer(true, in)
+		}
+		added++
 	}
-	s.stats.Inc(metrics.Instantiations)
-	if s.observer != nil {
-		s.observer(true, in)
-	}
-	return true
+	return added
 }
 
 // removeLocked unlinks one instantiation. Caller holds mu.

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"prodsys/internal/lock"
+	"prodsys/internal/match"
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+)
+
+// DeltaOp is one operation of a batch submitted to ApplyDelta: an
+// assertion carrying a tuple, or a retraction carrying a tuple ID.
+type DeltaOp struct {
+	// Retract selects between the two operation kinds.
+	Retract bool
+	// Class names the WM class the operation targets.
+	Class string
+	// Tuple is the assertion payload (ignored for retractions).
+	Tuple relation.Tuple
+	// ID is the retraction target (ignored for assertions).
+	ID relation.TupleID
+}
+
+// ApplyDelta applies a batch of WM changes set-at-a-time: relation-level
+// write locks are acquired once per touched class for the whole batch,
+// every WM mutation executes in op order, and match maintenance runs once
+// per (class, direction) group through the matchers' batch paths —
+// deletions before insertions — feeding the conflict set incrementally.
+// The returned IDs are aligned with ops (zero at retraction positions).
+//
+// A tuple asserted and retracted within the same batch nets out: it never
+// reaches the matcher. If a mutation fails mid-batch, the changes already
+// applied are still propagated to the matcher (keeping WM and match state
+// consistent) and the error is returned.
+//
+// When a WM observer is attached (materialized views), the batch degrades
+// to sequential per-op application under the batch's class locks, because
+// incremental view maintenance needs each change joined against the WM
+// state preceding it.
+func (e *Engine) ApplyDelta(ops []DeltaOp) ([]relation.TupleID, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	// Validate classes before mutating anything.
+	classes := map[string]bool{}
+	for _, op := range ops {
+		if _, ok := e.db.Get(op.Class); !ok {
+			return nil, fmt.Errorf("engine: %w %s", ErrUnknownClass, op.Class)
+		}
+		classes[op.Class] = true
+	}
+
+	// One relation-level lock acquisition per class per batch (§5.2's
+	// granularity, amortized), in a deterministic global order.
+	names := make([]string, 0, len(classes))
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	txn := lock.TxnID(e.nextTxn.Add(1))
+	for _, c := range names {
+		if err := e.locks.Acquire(txn, lock.RelationTarget(c), lock.Exclusive); err != nil {
+			e.locks.Release(txn)
+			return nil, err
+		}
+	}
+	defer e.locks.Release(txn)
+
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	e.stats.Inc(metrics.SerialOps)
+	e.stats.Inc(metrics.BatchDeltas)
+	e.stats.Add(metrics.BatchTuples, int64(len(ops)))
+
+	ids := make([]relation.TupleID, len(ops))
+	if e.wmObserver != nil {
+		// Sequential fallback: views must see one change at a time.
+		for i, op := range ops {
+			if op.Retract {
+				if err := e.retractLocked(op.Class, op.ID); err != nil {
+					return ids, err
+				}
+				continue
+			}
+			id, err := e.assertLocked(op.Class, op.Tuple)
+			if err != nil {
+				return ids, err
+			}
+			ids[i] = id
+		}
+		return ids, nil
+	}
+
+	// Set-oriented path: mutate the WM relations first, then run the
+	// batch maintenance over the net delta.
+	delta := relation.NewDelta()
+	type born struct {
+		class string
+		id    relation.TupleID
+	}
+	inserted := map[born]bool{} // tuples born in this batch
+	var opErr error
+	for i, op := range ops {
+		rel := e.db.MustGet(op.Class)
+		if op.Retract {
+			t, err := rel.Delete(op.ID)
+			if err != nil {
+				opErr = err
+				break
+			}
+			e.stats.Inc(metrics.Counter("updates_" + op.Class))
+			if inserted[born{op.Class, op.ID}] && delta.CancelInsert(op.Class, op.ID) {
+				continue // net zero: born and died within this batch
+			}
+			delta.AddDelete(op.Class, op.ID, t)
+			continue
+		}
+		id, err := rel.Insert(op.Tuple)
+		if err != nil {
+			opErr = err
+			break
+		}
+		ids[i] = id
+		stored, _ := rel.Get(id)
+		e.stats.Inc(metrics.Counter("updates_" + op.Class))
+		inserted[born{op.Class, id}] = true
+		delta.AddInsert(op.Class, id, stored)
+	}
+
+	for _, class := range delta.Classes() {
+		if len(delta.Deletes(class)) > 0 {
+			e.stats.Inc(metrics.BatchPropagations)
+		}
+		if len(delta.Inserts(class)) > 0 {
+			e.stats.Inc(metrics.BatchPropagations)
+		}
+	}
+	if err := match.ApplyDelta(e.matcher, delta); err != nil {
+		return ids, err
+	}
+	return ids, opErr
+}

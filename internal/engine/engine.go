@@ -42,6 +42,10 @@ var ErrStale = errors.New("engine: instantiation stale")
 // (NOT EXISTS under a relation read lock) failed.
 var ErrBlocked = errors.New("engine: negated condition no longer satisfied")
 
+// ErrUnknownClass marks an operation naming a WM class absent from the
+// catalog; test with errors.Is.
+var ErrUnknownClass = errors.New("unknown class")
+
 // Config tunes an Engine.
 type Config struct {
 	// Strategy selects among conflict-set instantiations in the serial
@@ -182,7 +186,7 @@ func (e *Engine) Assert(class string, t relation.Tuple) (relation.TupleID, error
 func (e *Engine) assertLocked(class string, t relation.Tuple) (relation.TupleID, error) {
 	rel, ok := e.db.Get(class)
 	if !ok {
-		return 0, fmt.Errorf("engine: unknown class %s", class)
+		return 0, fmt.Errorf("engine: %w %s", ErrUnknownClass, class)
 	}
 	id, err := rel.Insert(t)
 	if err != nil {
@@ -210,7 +214,7 @@ func (e *Engine) Retract(class string, id relation.TupleID) error {
 func (e *Engine) retractLocked(class string, id relation.TupleID) error {
 	rel, ok := e.db.Get(class)
 	if !ok {
-		return fmt.Errorf("engine: unknown class %s", class)
+		return fmt.Errorf("engine: %w %s", ErrUnknownClass, class)
 	}
 	t, err := rel.Delete(id)
 	if err != nil {

@@ -1,0 +1,75 @@
+package match
+
+import "prodsys/internal/relation"
+
+// BatchMatcher is implemented by matchers with a genuinely set-oriented
+// maintenance path: the whole batch of same-class changes is processed in
+// one pass (one COND-relation scan per condition element, one join
+// re-evaluation per affected rule, one sweep over each beta memory)
+// instead of running the full maintenance process once per tuple.
+// Matchers without a native batch path are driven through the per-tuple
+// fallback adapters InsertBatch and DeleteBatch below.
+type BatchMatcher interface {
+	Matcher
+	// InsertBatch notifies the matcher that every entry's tuple was stored
+	// in the class's WM relation. The WM already reflects the whole batch.
+	InsertBatch(class string, entries []relation.DeltaEntry) error
+	// DeleteBatch notifies the matcher that every entry's tuple was
+	// removed; entry tuples hold the values at removal time.
+	DeleteBatch(class string, entries []relation.DeltaEntry) error
+}
+
+// InsertBatch feeds a batch of insertions to m, using its native batch
+// path when it has one and falling back to tuple-at-a-time Insert calls
+// otherwise.
+func InsertBatch(m Matcher, class string, entries []relation.DeltaEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if bm, ok := m.(BatchMatcher); ok {
+		return bm.InsertBatch(class, entries)
+	}
+	for _, e := range entries {
+		if err := m.Insert(class, e.ID, e.Tuple); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteBatch feeds a batch of deletions to m, using its native batch
+// path when it has one and falling back to tuple-at-a-time Delete calls
+// otherwise.
+func DeleteBatch(m Matcher, class string, entries []relation.DeltaEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if bm, ok := m.(BatchMatcher); ok {
+		return bm.DeleteBatch(class, entries)
+	}
+	for _, e := range entries {
+		if err := m.Delete(class, e.ID, e.Tuple); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyDelta drains a whole batch through the matcher: deletions first,
+// then insertions, class by class in deterministic order. The caller must
+// have applied every change to the WM relations already, so the matchers
+// that re-derive from working memory see the batch's final state.
+func ApplyDelta(m Matcher, d *relation.Delta) error {
+	classes := d.Classes()
+	for _, class := range classes {
+		if err := DeleteBatch(m, class, d.Deletes(class)); err != nil {
+			return err
+		}
+	}
+	for _, class := range classes {
+		if err := InsertBatch(m, class, d.Inserts(class)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

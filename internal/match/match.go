@@ -10,6 +10,12 @@
 // insertion and before each deletion, mirroring Figure 2 of the paper:
 // changes to working memory propagate into the match network, which emits
 // changes to the conflict set.
+//
+// Matchers that additionally implement BatchMatcher process whole deltas
+// set-at-a-time — the paper's central claim that a DBMS wins by handling
+// WM changes as sets rather than tuple-at-a-time (§4.2, §5.1). The
+// package-level InsertBatch/DeleteBatch adapters fall back to per-tuple
+// notification for matchers without a native batch path.
 package match
 
 import (

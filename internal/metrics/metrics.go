@@ -52,6 +52,11 @@ const (
 	SerialOps       Counter = "serial_ops" // non-interleaved operation slots
 	MaintenanceOps  Counter = "maintenance_ops"
 	ParallelBatches Counter = "parallel_batches"
+
+	// Batch-pipeline level (engine.ApplyDelta).
+	BatchDeltas       Counter = "batch_deltas"       // deltas applied set-at-a-time
+	BatchTuples       Counter = "batch_tuples"       // tuples carried by those deltas
+	BatchPropagations Counter = "batch_propagations" // per-(class,direction) maintenance passes
 )
 
 // Set is a concurrent counter bag. The zero Set is ready to use.

@@ -1,0 +1,102 @@
+package relation
+
+import "sort"
+
+// DeltaEntry is one working-memory change within a Delta: a tuple
+// together with the ID it is (or was) stored under.
+type DeltaEntry struct {
+	ID    TupleID
+	Tuple Tuple
+}
+
+// Delta groups a batch of working-memory changes per class: the unit the
+// set-oriented maintenance pipeline processes at a time. Where the
+// tuple-at-a-time path runs the full match-maintenance process once per
+// update, a Delta lets the matchers amortize their per-class work — one
+// COND-relation scan per (class, condition element) pair, one join
+// re-evaluation per affected rule, one pass over each beta memory — over
+// every tuple in the batch (the set-at-a-time processing of §4.2/§5.1).
+//
+// Insertions and deletions are kept separate; a maintenance pass applies
+// all deletions before all insertions, which yields the same final
+// conflict set as any sequential interleaving of the same net changes.
+// Delta is not safe for concurrent use.
+type Delta struct {
+	inserts map[string][]DeltaEntry
+	deletes map[string][]DeltaEntry
+}
+
+// NewDelta creates an empty batch.
+func NewDelta() *Delta {
+	return &Delta{
+		inserts: make(map[string][]DeltaEntry),
+		deletes: make(map[string][]DeltaEntry),
+	}
+}
+
+// AddInsert records that tuple t was stored in class under id.
+func (d *Delta) AddInsert(class string, id TupleID, t Tuple) {
+	d.inserts[class] = append(d.inserts[class], DeltaEntry{ID: id, Tuple: t})
+}
+
+// AddDelete records that the identified tuple (with value t at removal
+// time) was removed from class.
+func (d *Delta) AddDelete(class string, id TupleID, t Tuple) {
+	d.deletes[class] = append(d.deletes[class], DeltaEntry{ID: id, Tuple: t})
+}
+
+// CancelInsert withdraws a pending insertion (a tuple both asserted and
+// retracted within one batch nets out to no change). It reports whether
+// the entry was found.
+func (d *Delta) CancelInsert(class string, id TupleID) bool {
+	list := d.inserts[class]
+	for i, e := range list {
+		if e.ID == id {
+			d.inserts[class] = append(list[:i], list[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Inserts returns the batched insertions for one class.
+func (d *Delta) Inserts(class string) []DeltaEntry { return d.inserts[class] }
+
+// Deletes returns the batched deletions for one class.
+func (d *Delta) Deletes(class string) []DeltaEntry { return d.deletes[class] }
+
+// Classes lists every class touched by the batch, sorted so maintenance
+// order is deterministic.
+func (d *Delta) Classes() []string {
+	seen := make(map[string]bool, len(d.inserts)+len(d.deletes))
+	var out []string
+	for c, list := range d.inserts {
+		if len(list) > 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for c, list := range d.deletes {
+		if len(list) > 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tuples counts the changes in the batch.
+func (d *Delta) Tuples() int {
+	n := 0
+	for _, list := range d.inserts {
+		n += len(list)
+	}
+	for _, list := range d.deletes {
+		n += len(list)
+	}
+	return n
+}
+
+// Empty reports whether the batch holds no changes.
+func (d *Delta) Empty() bool { return d.Tuples() == 0 }

@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,10 @@ import (
 	"prodsys/internal/metrics"
 	"prodsys/internal/value"
 )
+
+// ErrArity marks a tuple whose length disagrees with its relation's
+// schema; test with errors.Is.
+var ErrArity = errors.New("arity mismatch")
 
 // TupleID identifies a stored tuple within one relation. IDs are assigned
 // monotonically and never reused, so they double as insertion timestamps
@@ -122,8 +127,8 @@ func (r *Relation) HasIndex(pos int) bool {
 // callers may reuse the slice.
 func (r *Relation) Insert(t Tuple) (TupleID, error) {
 	if len(t) != r.schema.Arity() {
-		return 0, fmt.Errorf("relation %s: arity mismatch: tuple has %d values, schema needs %d",
-			r.Name(), len(t), r.schema.Arity())
+		return 0, fmt.Errorf("relation %s: %w: tuple has %d values, schema needs %d",
+			r.Name(), ErrArity, len(t), r.schema.Arity())
 	}
 	ct := t.Clone()
 	r.mu.Lock()

@@ -33,6 +33,7 @@
 package prodsys
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -75,13 +76,47 @@ func Matchers() []Matcher {
 	return []Matcher{MatcherRete, MatcherReteShared, MatcherRequery, MatcherCore, MatcherCoreParallel, MatcherMarker, MatcherPTree}
 }
 
+// Strategy selects the conflict-resolution strategy for serial runs.
+type Strategy string
+
+// The available strategies.
+const (
+	// StrategyFIFO fires the oldest instantiation first (default).
+	StrategyFIFO Strategy = "fifo"
+	// StrategyLEX prefers instantiations supported by recent WM, OPS5's
+	// LEX ordering.
+	StrategyLEX Strategy = "lex"
+	// StrategyPriority orders by declared rule priority.
+	StrategyPriority Strategy = "priority"
+	// StrategyRandom picks uniformly (seeded by Options.Seed).
+	StrategyRandom Strategy = "random"
+)
+
+// Strategies lists every available conflict-resolution strategy.
+func Strategies() []Strategy {
+	return []Strategy{StrategyFIFO, StrategyLEX, StrategyPriority, StrategyRandom}
+}
+
+// Sentinel errors; returned errors wrap these, test with errors.Is.
+var (
+	// ErrUnknownClass marks an operation naming an undeclared WM class.
+	ErrUnknownClass = engine.ErrUnknownClass
+	// ErrUnknownMatcher marks an Options.Matcher not in Matchers().
+	ErrUnknownMatcher = errors.New("unknown matcher")
+	// ErrUnknownStrategy marks an Options.Strategy not in Strategies().
+	ErrUnknownStrategy = errors.New("unknown strategy")
+	// ErrArity marks an Assert with more values than the class has
+	// attributes.
+	ErrArity = relation.ErrArity
+)
+
 // Options configures a System.
 type Options struct {
 	// Matcher selects the matching algorithm; default MatcherCore.
 	Matcher Matcher
-	// Strategy names the conflict-resolution strategy for serial runs:
-	// "fifo" (default), "lex", "priority", or "random".
-	Strategy string
+	// Strategy selects the conflict-resolution strategy for serial runs;
+	// default StrategyFIFO.
+	Strategy Strategy
 	// Seed seeds the random strategy.
 	Seed int64
 	// Workers sizes the concurrent executor pool (default 4).
@@ -157,20 +192,20 @@ func Load(src string, opts Options) (*System, error) {
 		sys.matcher = pm
 		sys.ptree = pm
 	default:
-		return nil, fmt.Errorf("prodsys: unknown matcher %q", opts.Matcher)
+		return nil, fmt.Errorf("prodsys: %w %q", ErrUnknownMatcher, opts.Matcher)
 	}
 	var strat conflict.Strategy
 	switch opts.Strategy {
-	case "", "fifo":
+	case "", StrategyFIFO:
 		strat = conflict.FIFO{}
-	case "lex":
+	case StrategyLEX:
 		strat = conflict.LEX{}
-	case "priority":
+	case StrategyPriority:
 		strat = conflict.Priority{}
-	case "random":
+	case StrategyRandom:
 		strat = conflict.NewRandom(opts.Seed)
 	default:
-		return nil, fmt.Errorf("prodsys: unknown strategy %q", opts.Strategy)
+		return nil, fmt.Errorf("prodsys: %w %q", ErrUnknownStrategy, opts.Strategy)
 	}
 	out := opts.Out
 	if out == nil {
@@ -235,32 +270,115 @@ func toValue(v any) (value.V, error) {
 	}
 }
 
-// Assert inserts a working-memory element, running the match maintenance
-// process, and returns its tuple ID. Values shorter than the class arity
-// leave trailing attributes unset.
-func (s *System) Assert(class string, values ...any) (uint64, error) {
+// tupleFor validates class and arity and builds the WM tuple for an
+// assertion. Values shorter than the class arity leave trailing
+// attributes unset.
+func (s *System) tupleFor(class string, values []any) (relation.Tuple, error) {
 	schema, ok := s.set.Classes[class]
 	if !ok {
-		return 0, fmt.Errorf("prodsys: unknown class %s", class)
+		return nil, fmt.Errorf("prodsys: %w %s", ErrUnknownClass, class)
 	}
 	if len(values) > schema.Arity() {
-		return 0, fmt.Errorf("prodsys: class %s has %d attributes, got %d values", class, schema.Arity(), len(values))
+		return nil, fmt.Errorf("prodsys: class %s: %w: has %d attributes, got %d values", class, ErrArity, schema.Arity(), len(values))
 	}
 	t := make(relation.Tuple, schema.Arity())
 	for i, v := range values {
 		vv, err := toValue(v)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		t[i] = vv
 	}
-	id, err := s.eng.Assert(class, t)
-	return uint64(id), err
+	return t, nil
 }
 
-// Retract deletes the identified working-memory element.
+// Batch collects working-memory assertions and retractions for one
+// set-oriented, transactional submission. Build with System.Batch, chain
+// Assert/Retract calls, then Commit.
+type Batch struct {
+	sys       *System
+	ops       []engine.DeltaOp
+	err       error // first build error, reported at Commit
+	committed bool
+}
+
+// Batch starts an empty change batch against this system.
+func (s *System) Batch() *Batch { return &Batch{sys: s} }
+
+// Assert queues an assertion of a working-memory element. The tuple ID
+// is assigned at Commit.
+func (b *Batch) Assert(class string, values ...any) *Batch {
+	if b.err != nil {
+		return b
+	}
+	if b.committed {
+		b.err = errors.New("prodsys: batch already committed")
+		return b
+	}
+	t, err := b.sys.tupleFor(class, values)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.ops = append(b.ops, engine.DeltaOp{Class: class, Tuple: t})
+	return b
+}
+
+// Retract queues a retraction of the identified working-memory element.
+func (b *Batch) Retract(class string, id uint64) *Batch {
+	if b.err != nil {
+		return b
+	}
+	if b.committed {
+		b.err = errors.New("prodsys: batch already committed")
+		return b
+	}
+	b.ops = append(b.ops, engine.DeltaOp{Retract: true, Class: class, ID: relation.TupleID(id)})
+	return b
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Commit applies the batch atomically with respect to other batches:
+// relation-level write locks are taken once per touched class, the WM
+// changes apply in order, and match maintenance runs set-at-a-time —
+// once per (class, direction) group — before the locks release. The
+// returned slice is aligned with the queued operations: the assigned
+// tuple ID at assertion positions, zero at retractions. A batch commits
+// at most once; further Commit calls (and further Assert/Retract) fail.
+func (b *Batch) Commit() ([]uint64, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.committed {
+		return nil, errors.New("prodsys: batch already committed")
+	}
+	b.committed = true
+	ids, err := b.sys.eng.ApplyDelta(b.ops)
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	return out, err
+}
+
+// Assert inserts a working-memory element, running the match maintenance
+// process, and returns its tuple ID. It is a single-operation Batch;
+// values shorter than the class arity leave trailing attributes unset.
+func (s *System) Assert(class string, values ...any) (uint64, error) {
+	ids, err := s.Batch().Assert(class, values...).Commit()
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// Retract deletes the identified working-memory element. It is a
+// single-operation Batch.
 func (s *System) Retract(class string, id uint64) error {
-	return s.eng.Retract(class, relation.TupleID(id))
+	_, err := s.Batch().Retract(class, id).Commit()
+	return err
 }
 
 // ConflictKeys returns the current conflict set's instantiation keys

@@ -2,6 +2,7 @@ package prodsys
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"os"
 	"reflect"
@@ -102,11 +103,11 @@ func TestLoadErrors(t *testing.T) {
 	if _, err := Load(`(p R (Ghost ^x 1) --> (halt))`, Options{}); err == nil {
 		t.Error("compile error should propagate")
 	}
-	if _, err := Load(`(literalize A x)`, Options{Matcher: "bogus"}); err == nil {
-		t.Error("unknown matcher should fail")
+	if _, err := Load(`(literalize A x)`, Options{Matcher: "bogus"}); !errors.Is(err, ErrUnknownMatcher) {
+		t.Errorf("unknown matcher: want ErrUnknownMatcher, got %v", err)
 	}
-	if _, err := Load(`(literalize A x)`, Options{Strategy: "bogus"}); err == nil {
-		t.Error("unknown strategy should fail")
+	if _, err := Load(`(literalize A x)`, Options{Strategy: "bogus"}); !errors.Is(err, ErrUnknownStrategy) {
+		t.Errorf("unknown strategy: want ErrUnknownStrategy, got %v", err)
 	}
 	if _, err := Load(`(literalize A x) (Ghost 1)`, Options{}); err == nil {
 		t.Error("bad fact should fail")
@@ -114,10 +115,18 @@ func TestLoadErrors(t *testing.T) {
 }
 
 func TestStrategies(t *testing.T) {
-	for _, s := range []string{"fifo", "lex", "priority", "random"} {
+	want := []Strategy{StrategyFIFO, StrategyLEX, StrategyPriority, StrategyRandom}
+	if got := Strategies(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Strategies() = %v, want %v", got, want)
+	}
+	for _, s := range Strategies() {
 		if _, err := Load(`(literalize A x)`, Options{Strategy: s, Seed: 42}); err != nil {
 			t.Errorf("strategy %s: %v", s, err)
 		}
+	}
+	// Legacy string literals still compile and load.
+	if _, err := Load(`(literalize A x)`, Options{Strategy: "lex"}); err != nil {
+		t.Errorf("legacy strategy literal: %v", err)
 	}
 }
 
@@ -342,7 +351,7 @@ func TestSaveRestoreWM(t *testing.T) {
 func TestGoldenCorpus(t *testing.T) {
 	cases := []struct {
 		file     string
-		strategy string
+		strategy Strategy
 		firings  int
 		contains []string
 		absent   []string
