@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check fmt
+.PHONY: build test bench check fmt trace-demo
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,9 @@ check:
 
 fmt:
 	gofmt -w .
+
+# trace-demo records a traced payroll run: the per-rule profile prints
+# to stdout and the event stream lands in trace.json in Chrome
+# trace_event format (open at chrome://tracing or ui.perfetto.dev).
+trace-demo:
+	$(GO) run ./cmd/psbench -trace trace.json

@@ -8,16 +8,20 @@
 //	psbench -scale 0.2      # quick pass
 //	psbench -exp e2,e7      # selected experiments
 //	psbench -list           # list available experiments
+//	psbench -trace out.json # trace demo: payroll run, profile + Chrome trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
+	"prodsys"
 	"prodsys/internal/experiments"
+	"prodsys/internal/workload"
 )
 
 // registry maps experiment IDs to constructors at default parameters.
@@ -57,11 +61,68 @@ var order = []string{
 	"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 }
 
+// traceDemo loads the 50-rule payroll program, records a traced batch
+// assert plus serial run, prints the per-rule profile, and writes the
+// event stream as a Chrome trace_event file (load it at
+// chrome://tracing or https://ui.perfetto.dev).
+func traceDemo(path, matcher string, nOps int) error {
+	sys, err := prodsys.Load(workload.PayrollRules(50, false), prodsys.Options{
+		Matcher: prodsys.Matcher(matcher),
+		Out:     io.Discard,
+	})
+	if err != nil {
+		return err
+	}
+	tracer := sys.Trace(prodsys.TraceOptions{})
+	b := sys.Batch()
+	for _, op := range workload.PayrollOps(1, nOps, 0) {
+		vals := make([]any, len(op.Tuple))
+		for i, v := range op.Tuple {
+			vals[i] = v
+		}
+		b.Assert(op.Class, vals...)
+	}
+	if _, err := b.Commit(); err != nil {
+		return err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return err
+	}
+	tracer.Stop()
+	fmt.Printf("trace demo: matcher=%s ops=%d firings=%d cycles=%d\n\n", sys.MatcherName(), nOps, res.Firings, res.Cycles)
+	fmt.Print(tracer.Profile().String())
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tracer.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nChrome trace written to %s (%d events recorded, %d dropped)\n", path, tracer.Len(), tracer.Dropped())
+	return nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (0 < scale ≤ 1 for quicker runs)")
 	exps := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	traceOut := flag.String("trace", "", "run the payroll trace demo and write a Chrome trace_event file to this path")
+	traceMatcher := flag.String("trace-matcher", "core", "matcher for the trace demo")
+	traceOps := flag.Int("trace-ops", 400, "operation count for the trace demo")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := traceDemo(*traceOut, *traceMatcher, *traceOps); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	reg := registry(*scale)
 	if *list {

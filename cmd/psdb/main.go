@@ -8,6 +8,9 @@
 // Flags select the matching algorithm (-matcher), the conflict-resolution
 // strategy (-strategy), serial or concurrent execution (-concurrent,
 // -workers), and what to print afterwards (-wm, -conflict, -stats).
+// Tracing flags record the run's execution events: -trace exports them
+// to a file (-trace-format jsonl or chrome), -profile prints the
+// per-rule profile table.
 package main
 
 import (
@@ -31,6 +34,9 @@ func main() {
 	showStats := flag.Bool("stats", false, "print operation counters")
 	loadWM := flag.String("load", "", "restore working memory from a dump file before running")
 	saveWM := flag.String("save", "", "dump working memory to a file after running")
+	traceOut := flag.String("trace", "", "record execution events and export them to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace export format: jsonl|chrome")
+	profile := flag.Bool("profile", false, "record execution events and print the per-rule profile")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -57,6 +63,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "psdb:", err)
 			os.Exit(1)
 		}
+	}
+
+	var tracer *prodsys.Tracer
+	if *traceOut != "" || *profile {
+		if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+			fmt.Fprintf(os.Stderr, "psdb: unknown trace format %q (want jsonl or chrome)\n", *traceFormat)
+			os.Exit(2)
+		}
+		tracer = sys.Trace(prodsys.TraceOptions{})
 	}
 
 	var res prodsys.Result
@@ -91,6 +106,32 @@ func main() {
 	if *showStats {
 		fmt.Println("; statistics:")
 		fmt.Print(prodsys.FormatStats(sys.Stats()))
+	}
+	if tracer != nil {
+		tracer.Stop()
+		if *profile {
+			fmt.Println("; profile:")
+			fmt.Print(tracer.Profile().String())
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "psdb:", err)
+				os.Exit(1)
+			}
+			if *traceFormat == "chrome" {
+				err = tracer.WriteChromeTrace(f)
+			} else {
+				err = tracer.WriteJSONL(f)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "psdb:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *saveWM != "" {
 		if err := sys.SaveWMFile(*saveWM); err != nil {

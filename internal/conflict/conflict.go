@@ -20,6 +20,7 @@ import (
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
+	"prodsys/internal/trace"
 )
 
 // Instantiation is one satisfied rule together with the tuples that
@@ -89,6 +90,16 @@ type Set struct {
 	seq      uint64
 	stats    *metrics.Set
 	observer func(added bool, in *Instantiation)
+	tr       *trace.Tracer
+}
+
+// SetTracer wires the execution tracer; Activation and Deactivation
+// events are emitted for every instantiation entering or leaving the
+// set. A nil tracer disables emission.
+func (s *Set) SetTracer(tr *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr = tr
 }
 
 // SetObserver registers a callback invoked after every instantiation
@@ -144,6 +155,12 @@ func (s *Set) AddAll(ins []*Instantiation) int {
 			set[key] = struct{}{}
 		}
 		s.stats.Inc(metrics.Instantiations)
+		if s.tr.Enabled() {
+			s.tr.Emit(trace.Event{
+				Kind: trace.KindActivation, At: s.tr.Now(),
+				Rule: in.Rule.Name, CE: -1, ID: in.Seq, Extra: key,
+			})
+		}
 		if s.observer != nil {
 			s.observer(true, in)
 		}
@@ -172,6 +189,12 @@ func (s *Set) removeLocked(key string) bool {
 		}
 	}
 	s.stats.Inc(metrics.Retractions)
+	if s.tr.Enabled() {
+		s.tr.Emit(trace.Event{
+			Kind: trace.KindDeactivation, At: s.tr.Now(),
+			Rule: in.Rule.Name, CE: -1, ID: in.Seq, Extra: key,
+		})
+	}
 	if s.observer != nil {
 		s.observer(false, in)
 	}

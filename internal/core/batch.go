@@ -9,6 +9,7 @@ import (
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
+	"prodsys/internal/trace"
 )
 
 // This file is the matching-pattern algorithm's set-oriented path: one
@@ -125,11 +126,15 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 		m.stats.Inc(metrics.PatternSearches)
 		k := ceKey{rule: ce.Rule, ce: ce.Index}
 		pats := st.snapshot(k)
+		var checked int64
+		var fires []relation.DeltaEntry
+		t0 := m.tr.Now()
 		for _, e := range entries {
 			var matchedAny bool
 			marks := map[int]bool{}
 			for _, p := range pats {
 				m.stats.Inc(metrics.CandidateChecks)
+				checked++
 				if _, ok := ce.MatchPattern(e.Tuple, p.bind); !ok {
 					continue
 				}
@@ -151,8 +156,17 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 				}
 			}
 			if fire {
-				m.verifyAndEmit(ce, e.ID, e.Tuple)
+				fires = append(fires, e)
 			}
+		}
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindCondScan, At: t0, Dur: m.tr.Now() - t0,
+				Rule: ce.Rule.Name, CE: ce.Index, Class: class, Count: checked,
+			})
+		}
+		for _, e := range fires {
+			m.verifyAndEmit(ce, e.ID, e.Tuple)
 		}
 	}
 	return nil
@@ -166,6 +180,15 @@ func (m *Matcher) upsertMany(k ceKey, contribs []contribution) {
 	target := k.rule.CEs[k.ce]
 	tst := m.stores[target.Class]
 	m.stats.Add(metrics.MaintenanceOps, int64(len(contribs)))
+	t0 := m.tr.Now()
+	if m.tr.Enabled() {
+		defer func() {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindPatternPropagate, At: t0, Dur: m.tr.Now() - t0,
+				Rule: k.rule.Name, CE: k.ce, Class: target.Class, Count: int64(len(contribs)),
+			})
+		}()
+	}
 	if m.ioDelay > 0 {
 		time.Sleep(m.ioDelay) // one simulated COND-relation page write per batch
 	}
@@ -284,9 +307,18 @@ func (m *Matcher) DeleteBatch(class string, entries []relation.DeltaEntry) error
 			continue
 		}
 		seen[ce.Rule] = true
+		var found int64
+		t0 := m.tr.Now()
 		joiner.Enumerate(m.db, ce.Rule, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+			found++
 			m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 		})
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindJoinEval, At: t0, Dur: m.tr.Now() - t0,
+				Rule: ce.Rule.Name, CE: ce.Index, Class: class, Count: found,
+			})
+		}
 	}
 	return nil
 }

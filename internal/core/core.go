@@ -45,6 +45,7 @@ import (
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
+	"prodsys/internal/trace"
 )
 
 // idSet is a set of supporting tuple IDs.
@@ -114,6 +115,7 @@ type Matcher struct {
 	stores   map[string]*store
 	parallel bool
 	ioDelay  time.Duration
+	tr       *trace.Tracer
 
 	// contributors[ce] lists the indices of the other positive condition
 	// elements of ce's rule that can deliver a matching pattern to ce's
@@ -230,6 +232,10 @@ func positiveSharers(r *rules.Rule, i int) []int {
 	return out
 }
 
+// SetTracer implements match.Traceable: condition scans, verification
+// joins and pattern propagations are emitted as trace events.
+func (m *Matcher) SetTracer(tr *trace.Tracer) { m.tr = tr }
+
 // Name implements match.Matcher.
 func (m *Matcher) Name() string {
 	if m.parallel {
@@ -255,9 +261,12 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 		// The single search of COND-class: which patterns does t match,
 		// and what is the union of their marks?
 		var matchedAny bool
+		var checked int64
+		t0 := m.tr.Now()
 		marks := map[int]bool{}
 		for _, p := range st.snapshot(k) {
 			m.stats.Inc(metrics.CandidateChecks)
+			checked++
 			if _, ok := ce.MatchPattern(t, p.bind); !ok {
 				continue
 			}
@@ -267,6 +276,12 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 					marks[y] = true
 				}
 			}
+		}
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindCondScan, At: t0, Dur: m.tr.Now() - t0,
+				Rule: ce.Rule.Name, CE: ce.Index, Class: class, ID: uint64(id), Count: checked,
+			})
 		}
 		if !matchedAny {
 			continue
@@ -298,13 +313,20 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 // and adds every real instantiation; a candidate with no completions is a
 // false drop (§2.3: "the penalty to be paid is just in processing time").
 func (m *Matcher) verifyAndEmit(ce *rules.CE, id relation.TupleID, t relation.Tuple) {
-	found := false
+	var found int64
+	t0 := m.tr.Now()
 	fixed := map[int]joiner.Fixed{ce.Index: {ID: id, Tuple: t}}
 	joiner.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
-		found = true
+		found++
 		m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 	})
-	if !found {
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindJoinEval, At: t0, Dur: m.tr.Now() - t0,
+			Rule: ce.Rule.Name, CE: ce.Index, Class: ce.Class, ID: uint64(id), Count: found,
+		})
+	}
+	if found == 0 {
 		m.stats.Inc(metrics.FalseDrops)
 	}
 }
@@ -352,6 +374,7 @@ func (m *Matcher) propagate(ce *rules.CE, id relation.TupleID, t relation.Tuple,
 // COND relation of one related condition element.
 func (m *Matcher) propagateTo(ce *rules.CE, id relation.TupleID, tb rules.Bindings, j int) {
 	m.stats.Inc(metrics.MaintenanceOps)
+	t0 := m.tr.Now()
 	if m.ioDelay > 0 {
 		time.Sleep(m.ioDelay) // simulated COND-relation page write
 	}
@@ -366,6 +389,12 @@ func (m *Matcher) propagateTo(ce *rules.CE, id relation.TupleID, tb rules.Bindin
 		return
 	}
 	m.upsert(m.stores[target.Class], ceKey{rule: ce.Rule, ce: j}, target, proj, ce.Index, id)
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindPatternPropagate, At: t0, Dur: m.tr.Now() - t0,
+			Rule: ce.Rule.Name, CE: j, Class: target.Class, ID: uint64(id), Count: 1,
+		})
+	}
 }
 
 // upsert creates or reinforces the matching pattern (target, bind),
@@ -454,9 +483,18 @@ func (m *Matcher) Delete(class string, id relation.TupleID, _ relation.Tuple) er
 			continue
 		}
 		seen[ce.Rule] = true
+		var found int64
+		t0 := m.tr.Now()
 		joiner.Enumerate(m.db, ce.Rule, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+			found++
 			m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 		})
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindJoinEval, At: t0, Dur: m.tr.Now() - t0,
+				Rule: ce.Rule.Name, CE: ce.Index, Class: class, ID: uint64(id), Count: found,
+			})
+		}
 	}
 	return nil
 }

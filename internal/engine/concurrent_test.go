@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -94,7 +95,7 @@ func TestRunTxnStaleAbort(t *testing.T) {
 	if err := e.Retract("A", relation.TupleID(ins[0].TupleIDs[0])); err != nil {
 		t.Fatal(err)
 	}
-	err := e.runTxn(ins[0])
+	err := e.runTxn(context.Background(), ins[0])
 	if !errors.Is(err, ErrStale) {
 		t.Fatalf("expected ErrStale, got %v", err)
 	}
@@ -122,7 +123,7 @@ func TestRunTxnBlockedAbort(t *testing.T) {
 	// The matcher already retracted the instantiation; replay the stale
 	// one through the transaction path: NOT EXISTS re-verification must
 	// catch it.
-	err := e.runTxn(ins[0])
+	err := e.runTxn(context.Background(), ins[0])
 	if !errors.Is(err, ErrBlocked) {
 		t.Fatalf("expected ErrBlocked, got %v", err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"prodsys/internal/match"
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
+	"prodsys/internal/trace"
 )
 
 // DeltaOp is one operation of a batch submitted to ApplyDelta: an
@@ -40,6 +42,13 @@ type DeltaOp struct {
 // incremental view maintenance needs each change joined against the WM
 // state preceding it.
 func (e *Engine) ApplyDelta(ops []DeltaOp) ([]relation.TupleID, error) {
+	return e.ApplyDeltaContext(context.Background(), ops)
+}
+
+// ApplyDeltaContext is ApplyDelta honoring ctx: cancellation is
+// observed before any lock is acquired; once the batch holds its class
+// locks it applies atomically to completion.
+func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relation.TupleID, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
@@ -51,7 +60,11 @@ func (e *Engine) ApplyDelta(ops []DeltaOp) ([]relation.TupleID, error) {
 		}
 		classes[op.Class] = true
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
+	tBatch := e.tr.Now()
 	// One relation-level lock acquisition per class per batch (§5.2's
 	// granularity, amortized), in a deterministic global order.
 	names := make([]string, 0, len(classes))
@@ -67,6 +80,14 @@ func (e *Engine) ApplyDelta(ops []DeltaOp) ([]relation.TupleID, error) {
 		}
 	}
 	defer e.locks.Release(txn)
+	if e.tr.Enabled() {
+		defer func() {
+			e.tr.Emit(trace.Event{
+				Kind: trace.KindBatchApply, At: tBatch, Dur: e.tr.Now() - tBatch,
+				CE: -1, ID: uint64(txn), Count: int64(len(ops)),
+			})
+		}()
+	}
 
 	e.maintMu.Lock()
 	defer e.maintMu.Unlock()

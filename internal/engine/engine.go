@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
+	"prodsys/internal/trace"
 	"prodsys/internal/value"
 )
 
@@ -68,6 +70,11 @@ type Config struct {
 	// Instantiations invalidated by earlier members of the batch are
 	// skipped.
 	SetAtATime bool
+	// Tracer receives structured execution events from the engine, the
+	// lock manager and (via the loader) the matcher and conflict set.
+	// nil or disabled tracers cost a single predictable branch per emit
+	// point.
+	Tracer *trace.Tracer
 }
 
 // Result summarizes a run.
@@ -87,6 +94,7 @@ type Engine struct {
 	stats   *metrics.Set
 	locks   *lock.Manager
 	cfg     Config
+	tr      *trace.Tracer
 
 	// maintMu serializes WM+matcher maintenance: the matchers are
 	// sequential structures, exactly the paper's observation that update
@@ -151,14 +159,17 @@ func New(set *rules.Set, db *relation.DB, matcher match.Matcher, stats *metrics.
 			}
 		}
 	}
+	locks := lock.NewManager(stats)
+	locks.SetTracer(cfg.Tracer)
 	return &Engine{
 		set:        set,
 		db:         db,
 		matcher:    matcher,
 		cs:         matcher.ConflictSet(),
 		stats:      stats,
-		locks:      lock.NewManager(stats),
+		locks:      locks,
 		cfg:        cfg,
+		tr:         cfg.Tracer,
 		negClasses: neg,
 	}
 }
@@ -188,6 +199,7 @@ func (e *Engine) assertLocked(class string, t relation.Tuple) (relation.TupleID,
 	if !ok {
 		return 0, fmt.Errorf("engine: %w %s", ErrUnknownClass, class)
 	}
+	t0 := e.tr.Now()
 	id, err := rel.Insert(t)
 	if err != nil {
 		return 0, err
@@ -197,6 +209,13 @@ func (e *Engine) assertLocked(class string, t relation.Tuple) (relation.TupleID,
 	e.stats.Inc(metrics.Counter("updates_" + class))
 	if err := e.matcher.Insert(class, id, stored); err != nil {
 		return 0, err
+	}
+	if e.tr.Enabled() {
+		// Dur covers the store plus the whole maintenance process.
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindTupleInsert, At: t0, Dur: e.tr.Now() - t0,
+			CE: -1, Class: class, ID: uint64(id),
+		})
 	}
 	if e.wmObserver != nil {
 		e.wmObserver(true, class, id, stored)
@@ -216,6 +235,7 @@ func (e *Engine) retractLocked(class string, id relation.TupleID) error {
 	if !ok {
 		return fmt.Errorf("engine: %w %s", ErrUnknownClass, class)
 	}
+	t0 := e.tr.Now()
 	t, err := rel.Delete(id)
 	if err != nil {
 		return err
@@ -224,6 +244,12 @@ func (e *Engine) retractLocked(class string, id relation.TupleID) error {
 	e.stats.Inc(metrics.Counter("updates_" + class))
 	if err := e.matcher.Delete(class, id, t); err != nil {
 		return err
+	}
+	if e.tr.Enabled() {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindTupleDelete, At: t0, Dur: e.tr.Now() - t0,
+			CE: -1, Class: class, ID: uint64(id),
+		})
 	}
 	if e.wmObserver != nil {
 		e.wmObserver(false, class, id, t)
@@ -361,9 +387,18 @@ func (e *Engine) ApplyForExploration(in *conflict.Instantiation) (halted bool, e
 // already maintained), Select one instantiation, Act, repeat until the
 // conflict set empties, a halt fires, or the firing cap is reached.
 func (e *Engine) RunSerial() (Result, error) {
+	return e.RunSerialContext(context.Background())
+}
+
+// RunSerialContext is RunSerial honoring ctx: cancellation is observed
+// between recognize-act cycles (a cycle in progress completes).
+func (e *Engine) RunSerialContext(ctx context.Context) (Result, error) {
 	var res Result
 	e.halted.Store(false)
 	for res.Firings < e.cfg.MaxFirings {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		in := e.cs.Select(e.cfg.Strategy)
 		if in == nil {
 			return res, nil
@@ -385,7 +420,14 @@ func (e *Engine) RunSerial() (Result, error) {
 				continue // retracted by an earlier member of the batch
 			}
 			e.cs.MarkFired(bi.Key())
+			t0 := e.tr.Now()
 			halted, err := e.applyActions(bi, false)
+			if e.tr.Enabled() {
+				e.tr.Emit(trace.Event{
+					Kind: trace.KindRuleFire, At: t0, Dur: e.tr.Now() - t0,
+					Rule: bi.Rule.Name, CE: -1, Count: 1, Extra: bi.Key(),
+				})
+			}
 			if err != nil {
 				return res, err
 			}
@@ -457,15 +499,32 @@ func (e *Engine) lockPlan(in *conflict.Instantiation) []lockReq {
 
 // runTxn executes one instantiation as a transaction: acquire locks,
 // validate, act, complete maintenance, commit (release). The returned
-// error classifies aborts.
-func (e *Engine) runTxn(in *conflict.Instantiation) error {
+// error classifies aborts. Cancellation is observed before lock
+// acquisition; once locks are held the transaction runs to completion.
+func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	txn := lock.TxnID(e.nextTxn.Add(1))
 	plan := e.lockPlan(in)
+	t0 := e.tr.Now()
 	for _, req := range plan {
 		if err := e.locks.Acquire(txn, req.tgt, req.mode); err != nil {
 			e.locks.Release(txn)
-			return err // deadlock victim
+			// Deadlock victim. Count it here so the TxnAborts counter
+			// agrees with Result.Aborts and the txn_abort event stream:
+			// the lock manager's abortLocked cannot know whether the
+			// victim belongs to a rule-firing transaction.
+			e.stats.Inc(metrics.TxnAborts)
+			e.emitTxnAbort(in, txn, "deadlock")
+			return err
 		}
+	}
+	if e.tr.Enabled() {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindLockAcquire, At: t0, Dur: e.tr.Now() - t0,
+			Rule: in.Rule.Name, CE: -1, ID: uint64(txn), Count: int64(len(plan)),
+		})
 	}
 	commit := func() { e.locks.Release(txn) }
 	if e.cfg.CommitEarly {
@@ -481,6 +540,7 @@ func (e *Engine) runTxn(in *conflict.Instantiation) error {
 			if joiner.Exists(e.db, ce, in.Bindings, e.stats) {
 				commit()
 				e.stats.Inc(metrics.TxnAborts)
+				e.emitTxnAbort(in, txn, "blocked")
 				return ErrBlocked
 			}
 			continue
@@ -489,6 +549,7 @@ func (e *Engine) runTxn(in *conflict.Instantiation) error {
 		if !ok || !cur.Equal(in.Tuples[i]) {
 			commit()
 			e.stats.Inc(metrics.TxnAborts)
+			e.emitTxnAbort(in, txn, "stale")
 			return ErrStale
 		}
 	}
@@ -500,10 +561,18 @@ func (e *Engine) runTxn(in *conflict.Instantiation) error {
 		e.maintMu.Unlock()
 		commit()
 		e.stats.Inc(metrics.TxnAborts)
+		e.emitTxnAbort(in, txn, "already fired")
 		return ErrStale
 	}
 	e.cs.MarkFired(in.Key())
+	tAct := e.tr.Now()
 	_, err := e.applyActions(in, true)
+	if e.tr.Enabled() {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindRuleFire, At: tAct, Dur: e.tr.Now() - tAct,
+			Rule: in.Rule.Name, CE: -1, ID: uint64(txn), Count: 1, Extra: in.Key(),
+		})
+	}
 	e.maintMu.Unlock()
 	commit()
 	if err != nil {
@@ -511,7 +580,25 @@ func (e *Engine) runTxn(in *conflict.Instantiation) error {
 	}
 	e.stats.Inc(metrics.RuleFirings)
 	e.stats.Inc(metrics.TxnCommits)
+	if e.tr.Enabled() {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindTxnCommit, At: e.tr.Now(),
+			Rule: in.Rule.Name, CE: -1, ID: uint64(txn),
+		})
+	}
 	return nil
+}
+
+// emitTxnAbort records one transaction abort in the trace, keeping the
+// txn_abort event count in lock-step with the TxnAborts counter.
+func (e *Engine) emitTxnAbort(in *conflict.Instantiation, txn lock.TxnID, reason string) {
+	if !e.tr.Enabled() {
+		return
+	}
+	e.tr.Emit(trace.Event{
+		Kind: trace.KindTxnAbort, At: e.tr.Now(),
+		Rule: in.Rule.Name, CE: -1, ID: uint64(txn), Extra: reason,
+	})
 }
 
 // RunConcurrent executes the conflict set in rounds: each round takes the
@@ -519,11 +606,21 @@ func (e *Engine) runTxn(in *conflict.Instantiation) error {
 // worker pool; the next round sees the conflict set produced by those
 // firings (Ψ' of §5.2). Stale and blocked transactions abort harmlessly.
 func (e *Engine) RunConcurrent() (Result, error) {
+	return e.RunConcurrentContext(context.Background())
+}
+
+// RunConcurrentContext is RunConcurrent honoring ctx: cancellation is
+// observed between rounds and before each transaction acquires locks;
+// transactions already holding locks run to completion.
+func (e *Engine) RunConcurrentContext(ctx context.Context) (Result, error) {
 	var res Result
 	e.halted.Store(false)
 	var firstErr error
 	var errMu sync.Mutex
 	for res.Firings < e.cfg.MaxFirings {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if e.halted.Load() {
 			res.Halted = true
 			return res, nil
@@ -547,7 +644,7 @@ func (e *Engine) RunConcurrent() (Result, error) {
 					if e.halted.Load() {
 						continue
 					}
-					err := e.runTxn(in)
+					err := e.runTxn(ctx, in)
 					switch {
 					case err == nil:
 						fired.Add(1)

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
+	"prodsys/internal/trace"
 )
 
 // Mode is a lock mode.
@@ -91,6 +93,16 @@ type Manager struct {
 	held     map[TxnID]map[Target]Mode
 	aborted  map[TxnID]bool
 	stats    *metrics.Set
+	tr       *trace.Tracer
+}
+
+// SetTracer wires the execution tracer; LockWait events are emitted
+// for every queued request (Dur = queue-to-grant wait) and Deadlock
+// events when the waits-for graph finds a cycle.
+func (m *Manager) SetTracer(tr *trace.Tracer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tr = tr
 }
 
 // NewManager creates an empty lock manager. stats may be nil.
@@ -160,8 +172,24 @@ func (m *Manager) Acquire(txn TxnID, tgt Target, mode Mode) error {
 	if victim := m.detectDeadlock(txn); victim != 0 {
 		m.abortLocked(victim)
 	}
+	tr := m.tr
 	m.mu.Unlock()
-	return <-req.ready
+	var t0 time.Duration
+	if tr.Enabled() {
+		t0 = tr.Now()
+	}
+	err := <-req.ready
+	if tr.Enabled() {
+		extra := tgt.String()
+		if err != nil {
+			extra += " aborted"
+		}
+		tr.Emit(trace.Event{
+			Kind: trace.KindLockWait, At: t0, Dur: tr.Now() - t0,
+			CE: -1, Class: tgt.Relation, ID: uint64(txn), Extra: extra,
+		})
+	}
+	return err
 }
 
 // grant records the lock, never downgrading an exclusive hold.
@@ -239,6 +267,12 @@ func (m *Manager) detectDeadlock(txn TxnID) TxnID {
 		if t > victim {
 			victim = t
 		}
+	}
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindDeadlock, At: m.tr.Now(),
+			CE: -1, ID: uint64(victim), Count: int64(len(cycle)),
+		})
 	}
 	return victim
 }

@@ -23,6 +23,7 @@ import (
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
+	"prodsys/internal/trace"
 	"prodsys/internal/value"
 )
 
@@ -61,6 +62,7 @@ type Matcher struct {
 	db    *relation.DB
 	cs    *conflict.Set
 	stats *metrics.Set
+	tr    *trace.Tracer
 
 	mu sync.Mutex
 	// marks: rule identifiers set on individual data tuples.
@@ -113,6 +115,10 @@ func intervalFor(ce *rules.CE) interval {
 	return iv
 }
 
+// SetTracer implements match.Traceable: marker/interval lookups and
+// wake-time re-evaluations are emitted as trace events.
+func (m *Matcher) SetTracer(tr *trace.Tracer) { m.tr = tr }
+
 // Name implements match.Matcher.
 func (m *Matcher) Name() string { return "marker" }
 
@@ -126,6 +132,8 @@ func (m *Matcher) ConflictSet() *conflict.Set { return m.cs }
 // index-interval mark was too coarse.
 func (m *Matcher) wakeInsert(r *rules.Rule, class string, id relation.TupleID, t relation.Tuple) {
 	m.stats.Inc(metrics.CandidateChecks)
+	t0 := m.tr.Now()
+	var derived int64
 	found := false
 	for _, ce := range r.CEs {
 		if ce.Class != class {
@@ -147,9 +155,20 @@ func (m *Matcher) wakeInsert(r *rules.Rule, class string, id relation.TupleID, t
 		fixed := map[int]joiner.Fixed{ce.Index: {ID: id, Tuple: t}}
 		joiner.Enumerate(m.db, r, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 			found = true
+			derived++
 			in := &conflict.Instantiation{Rule: r, TupleIDs: ids, Tuples: tuples, Bindings: b}
 			m.markInstantiation(in)
 			m.cs.Add(in)
+		})
+	}
+	if m.tr.Enabled() {
+		extra := ""
+		if !found {
+			extra = "false drop"
+		}
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindJoinEval, At: t0, Dur: m.tr.Now() - t0,
+			Rule: r.Name, CE: -1, Class: class, ID: uint64(id), Count: derived, Extra: extra,
 		})
 	}
 	if !found {
@@ -162,13 +181,26 @@ func (m *Matcher) wakeInsert(r *rules.Rule, class string, id relation.TupleID, t
 // not available).
 func (m *Matcher) wakeDelete(r *rules.Rule) {
 	m.stats.Inc(metrics.CandidateChecks)
+	t0 := m.tr.Now()
+	var derived int64
 	found := false
 	joiner.Enumerate(m.db, r, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 		found = true
+		derived++
 		in := &conflict.Instantiation{Rule: r, TupleIDs: ids, Tuples: tuples, Bindings: b}
 		m.markInstantiation(in)
 		m.cs.Add(in)
 	})
+	if m.tr.Enabled() {
+		extra := ""
+		if !found {
+			extra = "false drop"
+		}
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindJoinEval, At: t0, Dur: m.tr.Now() - t0,
+			Rule: r.Name, CE: -1, Count: derived, Extra: extra,
+		})
+	}
 	if !found {
 		m.stats.Inc(metrics.FalseDrops)
 	}
@@ -219,7 +251,15 @@ func (m *Matcher) rulesToWake(class string, id relation.TupleID, t relation.Tupl
 
 // Insert implements match.Matcher.
 func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) error {
-	for _, r := range m.rulesToWake(class, id, t, true) {
+	t0 := m.tr.Now()
+	woken := m.rulesToWake(class, id, t, true)
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindCondScan, At: t0, Dur: m.tr.Now() - t0,
+			CE: -1, Class: class, ID: uint64(id), Count: int64(len(woken)),
+		})
+	}
+	for _, r := range woken {
 		m.wakeInsert(r, class, id, t)
 	}
 	return nil
@@ -229,7 +269,14 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 // the tuple markers; rules negatively dependent on the class must be
 // re-derived, since the deletion may have unblocked them.
 func (m *Matcher) Delete(class string, id relation.TupleID, t relation.Tuple) error {
+	t0 := m.tr.Now()
 	woken := m.rulesToWake(class, id, t, false)
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindCondScan, At: t0, Dur: m.tr.Now() - t0,
+			CE: -1, Class: class, ID: uint64(id), Count: int64(len(woken)),
+		})
+	}
 	m.mu.Lock()
 	delete(m.marks, tupleKey{class: class, id: id})
 	m.mu.Unlock()

@@ -21,6 +21,7 @@ package match
 import (
 	"prodsys/internal/conflict"
 	"prodsys/internal/relation"
+	"prodsys/internal/trace"
 )
 
 // Matcher detects the rules applicable after each working-memory change.
@@ -35,4 +36,18 @@ type Matcher interface {
 	Delete(class string, id relation.TupleID, t relation.Tuple) error
 	// ConflictSet exposes the maintained conflict set.
 	ConflictSet() *conflict.Set
+}
+
+// Traceable is implemented by matchers that can emit structured
+// execution events (condition scans, joins, propagations) through a
+// trace.Tracer.
+type Traceable interface {
+	SetTracer(*trace.Tracer)
+}
+
+// AttachTracer hands the tracer to the matcher if it supports tracing.
+func AttachTracer(m Matcher, tr *trace.Tracer) {
+	if t, ok := m.(Traceable); ok {
+		t.SetTracer(tr)
+	}
 }

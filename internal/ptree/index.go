@@ -8,6 +8,7 @@ import (
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
+	"prodsys/internal/trace"
 	"prodsys/internal/value"
 )
 
@@ -146,7 +147,12 @@ type Matcher struct {
 	cs    *conflict.Set
 	stats *metrics.Set
 	index *Index
+	tr    *trace.Tracer
 }
+
+// SetTracer implements match.Traceable: R-tree probes and seeded join
+// evaluations are emitted as trace events.
+func (m *Matcher) SetTracer(tr *trace.Tracer) { m.tr = tr }
 
 // NewMatcher builds the matcher. stats may be nil.
 func NewMatcher(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set) *Matcher {
@@ -164,7 +170,15 @@ func (m *Matcher) ConflictSet() *conflict.Set { return m.cs }
 
 // Insert implements match.Matcher.
 func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) error {
-	for _, ce := range m.index.CandidatesFor(class, t) {
+	t0 := m.tr.Now()
+	cands := m.index.CandidatesFor(class, t)
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindCondScan, At: t0, Dur: m.tr.Now() - t0,
+			CE: -1, Class: class, ID: uint64(id), Count: int64(len(cands)),
+		})
+	}
+	for _, ce := range cands {
 		m.stats.Inc(metrics.PatternSearches)
 		if ce.Negated {
 			ceCopy := ce
@@ -177,10 +191,19 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 			})
 			continue
 		}
+		tJoin := m.tr.Now()
+		var found int64
 		fixed := map[int]joiner.Fixed{ce.Index: {ID: id, Tuple: t}}
 		joiner.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+			found++
 			m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 		})
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindJoinEval, At: tJoin, Dur: m.tr.Now() - tJoin,
+				Rule: ce.Rule.Name, CE: ce.Index, Class: class, ID: uint64(id), Count: found,
+			})
+		}
 	}
 	return nil
 }
@@ -188,15 +211,32 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 // Delete implements match.Matcher.
 func (m *Matcher) Delete(class string, id relation.TupleID, t relation.Tuple) error {
 	m.cs.RemoveByTuple(class, id)
+	t0 := m.tr.Now()
+	cands := m.index.CandidatesFor(class, t)
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindCondScan, At: t0, Dur: m.tr.Now() - t0,
+			CE: -1, Class: class, ID: uint64(id), Count: int64(len(cands)),
+		})
+	}
 	seen := map[*rules.Rule]bool{}
-	for _, ce := range m.index.CandidatesFor(class, t) {
+	for _, ce := range cands {
 		if !ce.Negated || seen[ce.Rule] {
 			continue
 		}
 		seen[ce.Rule] = true
+		tJoin := m.tr.Now()
+		var found int64
 		joiner.Enumerate(m.db, ce.Rule, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+			found++
 			m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 		})
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindJoinEval, At: tJoin, Dur: m.tr.Now() - tJoin,
+				Rule: ce.Rule.Name, CE: ce.Index, Class: class, ID: uint64(id), Count: found,
+			})
+		}
 	}
 	return nil
 }

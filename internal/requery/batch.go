@@ -9,6 +9,7 @@ import (
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
+	"prodsys/internal/trace"
 )
 
 // This file is the simplified algorithm's set-oriented path: where the
@@ -58,6 +59,7 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 			})
 			continue
 		}
+		t0 := m.tr.Now()
 		groups := make(map[string][]relation.DeltaEntry)
 		var order []string
 		for _, e := range entries {
@@ -70,11 +72,19 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 			}
 			groups[k] = append(groups[k], e)
 		}
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindCondScan, At: t0, Dur: m.tr.Now() - t0,
+				Rule: ce.Rule.Name, CE: ce.Index, Class: class, Count: int64(len(entries)),
+			})
+		}
 		rule := ce.Rule
 		var batch []*conflict.Instantiation
 		for _, k := range order {
 			group := groups[k]
 			rep := group[0]
+			tJoin := m.tr.Now()
+			var found int64
 			fixed := map[int]joiner.Fixed{ce.Index: {ID: rep.ID, Tuple: rep.Tuple}}
 			joiner.Enumerate(m.db, rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 				for _, member := range group {
@@ -82,8 +92,15 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 					mtups := append([]relation.Tuple(nil), tuples...)
 					mids[ce.Index], mtups[ce.Index] = member.ID, member.Tuple
 					batch = append(batch, &conflict.Instantiation{Rule: rule, TupleIDs: mids, Tuples: mtups, Bindings: b.Clone()})
+					found++
 				}
 			})
+			if m.tr.Enabled() {
+				m.tr.Emit(trace.Event{
+					Kind: trace.KindJoinEval, At: tJoin, Dur: m.tr.Now() - tJoin,
+					Rule: rule.Name, CE: ce.Index, Class: class, ID: uint64(rep.ID), Count: found,
+				})
+			}
 		}
 		m.cs.AddAll(batch)
 	}
@@ -105,7 +122,7 @@ func (m *Matcher) DeleteBatch(class string, entries []relation.DeltaEntry) error
 			continue
 		}
 		seen[ce.Rule] = true
-		m.deriveAll(ce.Rule)
+		m.deriveAll(ce.Rule, ce.Index)
 	}
 	return nil
 }

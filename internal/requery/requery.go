@@ -18,6 +18,7 @@ import (
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
+	"prodsys/internal/trace"
 )
 
 // Matcher is the simplified re-evaluation matcher.
@@ -26,7 +27,12 @@ type Matcher struct {
 	db    *relation.DB
 	cs    *conflict.Set
 	stats *metrics.Set
+	tr    *trace.Tracer
 }
+
+// SetTracer implements match.Traceable: COND-relation searches and join
+// re-evaluations are emitted as trace events.
+func (m *Matcher) SetTracer(tr *trace.Tracer) { m.tr = tr }
 
 // New builds the matcher over the engine's WM catalog. The catalog must
 // already contain a relation per declared class (rules.BuildDB). stats
@@ -52,7 +58,15 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 			m.retractBlocked(ce, t)
 			continue
 		}
-		if !ce.MatchAlpha(t) {
+		t0 := m.tr.Now()
+		pass := ce.MatchAlpha(t)
+		if m.tr.Enabled() {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindCondScan, At: t0, Dur: m.tr.Now() - t0,
+				Rule: ce.Rule.Name, CE: ce.Index, Class: class, ID: uint64(id), Count: 1,
+			})
+		}
+		if !pass {
 			continue
 		}
 		m.deriveWithFixed(ce, id, t)
@@ -73,7 +87,7 @@ func (m *Matcher) Delete(class string, id relation.TupleID, _ relation.Tuple) er
 			continue
 		}
 		seen[ce.Rule] = true
-		m.deriveAll(ce.Rule)
+		m.deriveAll(ce.Rule, ce.Index)
 	}
 	return nil
 }
@@ -81,18 +95,37 @@ func (m *Matcher) Delete(class string, id relation.TupleID, _ relation.Tuple) er
 // deriveWithFixed evaluates ce.Rule's LHS with ce pinned to the new
 // tuple, adding every resulting instantiation.
 func (m *Matcher) deriveWithFixed(ce *rules.CE, id relation.TupleID, t relation.Tuple) {
+	var found int64
+	t0 := m.tr.Now()
 	fixed := map[int]joiner.Fixed{ce.Index: {ID: id, Tuple: t}}
 	joiner.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+		found++
 		m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 	})
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindJoinEval, At: t0, Dur: m.tr.Now() - t0,
+			Rule: ce.Rule.Name, CE: ce.Index, Class: ce.Class, ID: uint64(id), Count: found,
+		})
+	}
 }
 
 // deriveAll re-evaluates a rule from scratch (used when a blocker of a
-// negated condition element disappears).
-func (m *Matcher) deriveAll(r *rules.Rule) {
+// negated condition element disappears). ceIdx attributes the trace
+// event to the seeding condition element (-1 when rule-level).
+func (m *Matcher) deriveAll(r *rules.Rule, ceIdx int) {
+	var found int64
+	t0 := m.tr.Now()
 	joiner.Enumerate(m.db, r, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+		found++
 		m.cs.Add(&conflict.Instantiation{Rule: r, TupleIDs: ids, Tuples: tuples, Bindings: b})
 	})
+	if m.tr.Enabled() {
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindJoinEval, At: t0, Dur: m.tr.Now() - t0,
+			Rule: r.Name, CE: ceIdx, Count: found,
+		})
+	}
 }
 
 // retractBlocked removes instantiations of ce.Rule whose bindings the new
@@ -112,7 +145,7 @@ func (m *Matcher) retractBlocked(ce *rules.CE, t relation.Tuple) {
 func (m *Matcher) Rederive() {
 	m.cs.RemoveWhere(func(*conflict.Instantiation) bool { return true })
 	for _, r := range m.set.Rules {
-		m.deriveAll(r)
+		m.deriveAll(r, -1)
 	}
 }
 

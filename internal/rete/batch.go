@@ -2,9 +2,11 @@ package rete
 
 import (
 	"fmt"
+	"time"
 
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
+	"prodsys/internal/trace"
 )
 
 // This file is the Rete network's set-oriented path: a batch of
@@ -68,11 +70,17 @@ func (net *Network) InsertBatch(class string, entries []relation.DeltaEntry) err
 		net.wmes[key] = w
 		wmes = append(wmes, w)
 	}
+	traced := net.tr.Enabled()
+	tStart := net.tr.Now()
+	var checked int64
+	var scanDur time.Duration
 	batch := make([]*WME, 0, len(wmes))
 	for _, am := range net.alphaByClass[class] {
 		batch = batch[:0]
+		t0 := net.tr.Now()
 		for _, w := range wmes {
 			net.stats.Inc(metrics.NodeActivations) // one-input node check
+			checked++
 			if !am.matches(w) {
 				continue
 			}
@@ -80,18 +88,29 @@ func (net *Network) InsertBatch(class string, entries []relation.DeltaEntry) err
 			w.amems = append(w.amems, am)
 			batch = append(batch, w)
 		}
+		scanDur += net.tr.Now() - t0
 		if len(batch) == 0 {
 			continue
 		}
 		for _, s := range am.successors {
+			tj := net.tr.Now()
 			if bs, ok := s.(batchSuccessor); ok {
 				bs.rightActivateBatch(batch)
-				continue
+			} else {
+				for _, w := range batch {
+					s.rightActivate(w)
+				}
 			}
-			for _, w := range batch {
-				s.rightActivate(w)
+			if traced {
+				net.emitJoinEval(s, tj, net.tr.Now()-tj, class, 0, int64(len(batch)))
 			}
 		}
+	}
+	if traced {
+		net.tr.Emit(trace.Event{
+			Kind: trace.KindCondScan, At: tStart, Dur: scanDur,
+			CE: -1, Class: class, Count: checked,
+		})
 	}
 	return nil
 }

@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"prodsys/internal/conflict"
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
+	"prodsys/internal/trace"
 	"prodsys/internal/value"
 )
 
@@ -107,6 +109,11 @@ type amemSuccessor interface {
 	rightActivate(w *WME)
 	rightRetract(w *WME)
 	ceIndex() int
+	// ownerRules attributes the node to the rules whose compilation
+	// reached it: one rule normally, several under beta-prefix sharing
+	// (traced join work is split evenly between them).
+	ownerRules() []*rules.Rule
+	addOwner(r *rules.Rule)
 }
 
 // matches reports whether the WME passes this alpha memory's tests.
@@ -159,10 +166,13 @@ type joinNode struct {
 	child interface {
 		leftActivate(parent *token, w *WME, level int)
 	}
-	ce int // condition element index
+	ce     int           // condition element index
+	owners []*rules.Rule // compiling rules, for trace attribution
 }
 
-func (j *joinNode) ceIndex() int { return j.ce }
+func (j *joinNode) ceIndex() int              { return j.ce }
+func (j *joinNode) ownerRules() []*rules.Rule { return j.owners }
+func (j *joinNode) addOwner(r *rules.Rule)    { j.owners = append(j.owners, r) }
 
 func (j *joinNode) performTests(t *token, w *WME) bool {
 	j.net.stats.Inc(metrics.NodeActivations)
@@ -215,13 +225,16 @@ type negativeNode struct {
 	items    map[*token]struct{}
 	children []tokenSink
 	ce       int
+	owners   []*rules.Rule // compiling rules, for trace attribution
 }
 
-func newNegativeNode(net *Network, amem *alphaMemory, tests []joinTest, ce int) *negativeNode {
-	return &negativeNode{net: net, amem: amem, tests: tests, items: make(map[*token]struct{}), ce: ce}
+func newNegativeNode(net *Network, amem *alphaMemory, tests []joinTest, ce int, r *rules.Rule) *negativeNode {
+	return &negativeNode{net: net, amem: amem, tests: tests, items: make(map[*token]struct{}), ce: ce, owners: []*rules.Rule{r}}
 }
 
-func (n *negativeNode) ceIndex() int { return n.ce }
+func (n *negativeNode) ceIndex() int              { return n.ce }
+func (n *negativeNode) ownerRules() []*rules.Rule { return n.owners }
+func (n *negativeNode) addOwner(r *rules.Rule)    { n.owners = append(n.owners, r) }
 
 func (n *negativeNode) performTests(t *token, w *WME) bool {
 	n.net.stats.Inc(metrics.NodeActivations)
@@ -331,6 +344,7 @@ type Network struct {
 	set   *rules.Set
 	cs    *conflict.Set
 	stats *metrics.Set
+	tr    *trace.Tracer
 
 	alphaByClass map[string][]*alphaMemory
 	alphaBySig   map[string]*alphaMemory
@@ -351,6 +365,7 @@ type Network struct {
 type chainStep struct {
 	store  interface{ eachToken(func(*token)) }
 	attach func(tokenSink)
+	node   amemSuccessor // the step's join/negative node, for owner attribution
 }
 
 // New compiles the rule set into a Rete network maintaining cs.
@@ -388,6 +403,10 @@ func compileNetwork(set *rules.Set, cs *conflict.Set, stats *metrics.Set, share 
 	}
 	return net
 }
+
+// SetTracer implements match.Traceable: alpha-chain checks and
+// join-node right activations are emitted as trace events.
+func (net *Network) SetTracer(tr *trace.Tracer) { net.tr = tr }
 
 // Name implements match.Matcher.
 func (net *Network) Name() string {
@@ -513,6 +532,7 @@ func (net *Network) compileRule(r *rules.Rule) {
 		prefixSig = fmt.Sprintf("%s→%s%v¬%v", prefixSig, am.signature, jtests, ce.Negated)
 		if net.share {
 			if cached, ok := net.chains[prefixSig]; ok {
+				cached.node.addOwner(r)
 				curStore = cached.store
 				attach = cached.attach
 				for v, p := range local {
@@ -523,7 +543,7 @@ func (net *Network) compileRule(r *rules.Rule) {
 		}
 
 		if ce.Negated {
-			neg := newNegativeNode(net, am, jtests, i)
+			neg := newNegativeNode(net, am, jtests, i, r)
 			// Wire: the previous store's join... a negated CE needs no
 			// separate join node; the negative node consumes tokens from
 			// the previous node directly.
@@ -535,14 +555,14 @@ func (net *Network) compileRule(r *rules.Rule) {
 				neg.eachToken(c.tokenAdded)
 			}
 			if net.share {
-				net.chains[prefixSig] = &chainStep{store: curStore, attach: attach}
+				net.chains[prefixSig] = &chainStep{store: curStore, attach: attach, node: neg}
 			}
 			continue
 		}
 
 		// Positive CE: join node between current store and the alpha
 		// memory, feeding a fresh beta memory.
-		j := &joinNode{net: net, parent: curStore, amem: am, tests: jtests, ce: i}
+		j := &joinNode{net: net, parent: curStore, amem: am, tests: jtests, ce: i, owners: []*rules.Rule{r}}
 		attach(j)
 		am.addSuccessor(j)
 		bm := newBetaMemory(net)
@@ -553,7 +573,7 @@ func (net *Network) compileRule(r *rules.Rule) {
 			bm.eachToken(c.tokenAdded)
 		}
 		if net.share {
-			net.chains[prefixSig] = &chainStep{store: curStore, attach: attach}
+			net.chains[prefixSig] = &chainStep{store: curStore, attach: attach, node: j}
 		}
 		// Record binders for variables first bound here.
 		for v, p := range local {
@@ -575,18 +595,66 @@ func (net *Network) Insert(class string, id relation.TupleID, t relation.Tuple) 
 	}
 	w := &WME{Class: class, ID: id, Tuple: t.Clone()}
 	net.wmes[key] = w
+	if !net.tr.Enabled() {
+		for _, am := range net.alphaByClass[class] {
+			net.stats.Inc(metrics.NodeActivations) // one-input node check
+			if !am.matches(w) {
+				continue
+			}
+			am.items[w] = struct{}{}
+			w.amems = append(w.amems, am)
+			for _, s := range am.successors {
+				s.rightActivate(w)
+			}
+		}
+		return nil
+	}
+	// Traced path: alpha-test time is accumulated across the class's
+	// memories into one cond_scan (alpha chains are shared between rules,
+	// so the scan is not attributable to a single rule); each successor
+	// right activation is a join evaluation attributed to its owner.
+	tStart := net.tr.Now()
+	var checked int64
+	var scanDur time.Duration
 	for _, am := range net.alphaByClass[class] {
 		net.stats.Inc(metrics.NodeActivations) // one-input node check
-		if !am.matches(w) {
+		t0 := net.tr.Now()
+		pass := am.matches(w)
+		scanDur += net.tr.Now() - t0
+		checked++
+		if !pass {
 			continue
 		}
 		am.items[w] = struct{}{}
 		w.amems = append(w.amems, am)
 		for _, s := range am.successors {
+			tj := net.tr.Now()
 			s.rightActivate(w)
+			net.emitJoinEval(s, tj, net.tr.Now()-tj, class, uint64(id), 1)
 		}
 	}
+	net.tr.Emit(trace.Event{
+		Kind: trace.KindCondScan, At: tStart, Dur: scanDur,
+		CE: -1, Class: class, ID: uint64(id), Count: checked,
+	})
 	return nil
+}
+
+// emitJoinEval attributes one right activation's duration to the
+// node's owner rules, split evenly — under beta-prefix sharing the
+// join work is genuinely shared between them.
+func (net *Network) emitJoinEval(s amemSuccessor, at, dur time.Duration, class string, id uint64, count int64) {
+	owners := s.ownerRules()
+	if len(owners) == 0 {
+		return
+	}
+	share := dur / time.Duration(len(owners))
+	for _, r := range owners {
+		net.tr.Emit(trace.Event{
+			Kind: trace.KindJoinEval, At: at, Dur: share,
+			Rule: r.Name, CE: s.ceIndex(), Class: class, ID: id, Count: count,
+		})
+	}
 }
 
 // Delete implements match.Matcher: tree-based removal of every partial

@@ -1,0 +1,218 @@
+package prodsys
+
+// This file is the observability surface of the system: execution
+// tracing with per-rule profiling (System.Trace), typed operation
+// counters (System.Metrics), and context-aware run entry points.
+
+import (
+	"context"
+
+	"prodsys/internal/trace"
+)
+
+// Re-exported tracing types. The concrete implementations live in
+// internal/trace; these aliases make the returned values usable without
+// importing an internal package.
+type (
+	// Tracer records structured execution events; obtain one with
+	// System.Trace.
+	Tracer = trace.Tracer
+	// TraceEvent is one recorded event.
+	TraceEvent = trace.Event
+	// TraceKind enumerates the event kinds.
+	TraceKind = trace.Kind
+	// Profile aggregates a trace into per-rule and per-condition-element
+	// figures.
+	Profile = trace.Profile
+	// RuleProfile is one rule's row in a Profile.
+	RuleProfile = trace.RuleProfile
+	// CEProfile is one condition element's row in a RuleProfile.
+	CEProfile = trace.CEProfile
+	// Explanation reconstructs a rule's last firing from the trace.
+	Explanation = trace.Explanation
+	// ExplainCE is one condition element's support in an Explanation.
+	ExplainCE = trace.ExplainCE
+)
+
+// TraceOptions configures System.Trace.
+type TraceOptions struct {
+	// Capacity bounds the event ring buffer; zero means the default
+	// (65536 events). On overflow the oldest events are dropped; the
+	// profile aggregates are maintained at emit time and survive
+	// overflow.
+	Capacity int
+}
+
+// Trace starts (or restarts, with a fresh buffer) event recording and
+// returns the system's tracer. Every component — storage maintenance,
+// the active matcher, the conflict set, the lock manager, and both
+// executors — emits through it. While no trace is active the emit
+// points are single atomic-load checks that allocate nothing.
+//
+// Read the recording through the returned Tracer: Events() for the raw
+// stream, Profile() for the per-rule table, Explain(rule) for the
+// support of a rule's last firing, WriteJSONL / WriteChromeTrace for
+// export. Call Stop on the tracer to pause recording; the recorded
+// events remain readable.
+func (s *System) Trace(opts TraceOptions) *Tracer {
+	infos := make([]trace.RuleInfo, 0, len(s.set.Rules))
+	for _, r := range s.set.Rules {
+		ri := trace.RuleInfo{Name: r.Name, CEs: make([]trace.CEInfo, len(r.CEs))}
+		for i, ce := range r.CEs {
+			ri.CEs[i] = trace.CEInfo{Class: ce.Class, Negated: ce.Negated}
+		}
+		infos = append(infos, ri)
+	}
+	s.tracer.SetRules(infos)
+	s.tracer.Start(trace.Options{Capacity: opts.Capacity})
+	return s.tracer
+}
+
+// Tracer returns the system's tracer without changing its state: nil
+// until the system is loaded, disabled until Trace is called.
+func (s *System) Tracer() *Tracer { return s.tracer }
+
+// StorageStats counts storage-engine operations.
+type StorageStats struct {
+	TuplesInserted int64
+	TuplesDeleted  int64
+	TuplesScanned  int64
+	IndexLookups   int64
+	PagesRead      int64 // simulated I/O
+	PagesWritten   int64 // simulated I/O
+}
+
+// MatchStats counts match-maintenance operations.
+type MatchStats struct {
+	NodeActivations  int64
+	TokensStored     int64
+	TokensDeleted    int64
+	JoinsComputed    int64
+	PatternsStored   int64
+	PatternsDeleted  int64
+	PatternSearches  int64
+	CondTuplesStored int64
+	FalseDrops       int64
+	CandidateChecks  int64
+}
+
+// ExecutionStats counts conflict-set and executor operations.
+type ExecutionStats struct {
+	Instantiations  int64
+	Retractions     int64
+	RuleFirings     int64
+	LockWaits       int64
+	LocksAcquired   int64
+	TxnCommits      int64
+	TxnAborts       int64
+	Deadlocks       int64
+	SerialOps       int64
+	MaintenanceOps  int64
+	ParallelBatches int64
+}
+
+// BatchStats counts set-oriented batch-pipeline operations.
+type BatchStats struct {
+	Deltas       int64 // batches applied set-at-a-time
+	Tuples       int64 // tuples carried by those batches
+	Propagations int64 // per-(class,direction) maintenance passes
+}
+
+// Snapshot is a typed, immutable copy of the system's operation
+// counters, grouped by subsystem. Counters holds every raw counter by
+// name, including any not covered by the typed sections.
+type Snapshot struct {
+	Storage   StorageStats
+	Match     MatchStats
+	Execution ExecutionStats
+	Batch     BatchStats
+	Counters  map[string]int64
+}
+
+// Metrics snapshots the operation counters accumulated so far.
+func (s *System) Metrics() Snapshot {
+	raw := s.stats.Snapshot()
+	m := make(map[string]int64, len(raw))
+	for k, v := range raw {
+		m[string(k)] = v
+	}
+	return newSnapshot(m)
+}
+
+// newSnapshot builds the typed sections from a raw counter map.
+func newSnapshot(m map[string]int64) Snapshot {
+	return Snapshot{
+		Storage: StorageStats{
+			TuplesInserted: m["tuples_inserted"],
+			TuplesDeleted:  m["tuples_deleted"],
+			TuplesScanned:  m["tuples_scanned"],
+			IndexLookups:   m["index_lookups"],
+			PagesRead:      m["pages_read"],
+			PagesWritten:   m["pages_written"],
+		},
+		Match: MatchStats{
+			NodeActivations:  m["node_activations"],
+			TokensStored:     m["tokens_stored"],
+			TokensDeleted:    m["tokens_deleted"],
+			JoinsComputed:    m["joins_computed"],
+			PatternsStored:   m["patterns_stored"],
+			PatternsDeleted:  m["patterns_deleted"],
+			PatternSearches:  m["pattern_searches"],
+			CondTuplesStored: m["cond_tuples_stored"],
+			FalseDrops:       m["false_drops"],
+			CandidateChecks:  m["candidate_checks"],
+		},
+		Execution: ExecutionStats{
+			Instantiations:  m["instantiations"],
+			Retractions:     m["retractions"],
+			RuleFirings:     m["rule_firings"],
+			LockWaits:       m["lock_waits"],
+			LocksAcquired:   m["locks_acquired"],
+			TxnCommits:      m["txn_commits"],
+			TxnAborts:       m["txn_aborts"],
+			Deadlocks:       m["deadlocks"],
+			SerialOps:       m["serial_ops"],
+			MaintenanceOps:  m["maintenance_ops"],
+			ParallelBatches: m["parallel_batches"],
+		},
+		Batch: BatchStats{
+			Deltas:       m["batch_deltas"],
+			Tuples:       m["batch_tuples"],
+			Propagations: m["batch_propagations"],
+		},
+		Counters: m,
+	}
+}
+
+// Delta returns this snapshot minus prev, counter by counter — the
+// activity between two Metrics calls. Counters keeps every key present
+// in either snapshot (zero deltas included for keys present in both).
+func (sn Snapshot) Delta(prev Snapshot) Snapshot {
+	m := make(map[string]int64, len(sn.Counters))
+	for k, v := range sn.Counters {
+		m[k] = v - prev.Counters[k]
+	}
+	for k, v := range prev.Counters {
+		if _, seen := sn.Counters[k]; !seen {
+			m[k] = -v
+		}
+	}
+	return newSnapshot(m)
+}
+
+// RunContext is Run honoring ctx: cancellation is observed between
+// recognize-act cycles, so a fired action always completes its
+// maintenance before the run stops with ctx.Err().
+func (s *System) RunContext(ctx context.Context) (Result, error) {
+	r, err := s.eng.RunSerialContext(ctx)
+	return Result(r), err
+}
+
+// RunConcurrentContext is RunConcurrent honoring ctx: cancellation is
+// observed between transaction rounds and before each transaction
+// acquires its locks; in-flight transactions complete or abort
+// normally.
+func (s *System) RunConcurrentContext(ctx context.Context) (Result, error) {
+	r, err := s.eng.RunConcurrentContext(ctx)
+	return Result(r), err
+}

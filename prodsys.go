@@ -33,6 +33,7 @@
 package prodsys
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -53,6 +54,7 @@ import (
 	"prodsys/internal/requery"
 	"prodsys/internal/rete"
 	"prodsys/internal/rules"
+	"prodsys/internal/trace"
 	"prodsys/internal/value"
 	"prodsys/internal/view"
 )
@@ -158,6 +160,7 @@ type System struct {
 	views   *view.Manager
 	quelIn  *quel.Interp
 	out     io.Writer
+	tracer  *trace.Tracer
 }
 
 // Load parses, compiles and initializes a production system from OPS5
@@ -173,7 +176,9 @@ func Load(src string, opts Options) (*System, error) {
 		return nil, err
 	}
 	cs := conflict.NewSet(stats)
-	sys := &System{set: set, prog: prog, db: db, stats: stats}
+	tr := trace.New() // disabled until System.Trace; emit points are no-ops
+	cs.SetTracer(tr)
+	sys := &System{set: set, prog: prog, db: db, stats: stats, tracer: tr}
 	switch opts.Matcher {
 	case MatcherRete:
 		sys.matcher = rete.New(set, cs, stats)
@@ -194,6 +199,7 @@ func Load(src string, opts Options) (*System, error) {
 	default:
 		return nil, fmt.Errorf("prodsys: %w %q", ErrUnknownMatcher, opts.Matcher)
 	}
+	match.AttachTracer(sys.matcher, tr)
 	var strat conflict.Strategy
 	switch opts.Strategy {
 	case "", StrategyFIFO:
@@ -219,6 +225,7 @@ func Load(src string, opts Options) (*System, error) {
 		Out:         out,
 		CommitEarly: opts.CommitEarly,
 		SetAtATime:  opts.SetAtATime,
+		Tracer:      tr,
 	})
 	if err := sys.eng.LoadFacts(prog); err != nil {
 		return nil, err
@@ -348,6 +355,13 @@ func (b *Batch) Len() int { return len(b.ops) }
 // tuple ID at assertion positions, zero at retractions. A batch commits
 // at most once; further Commit calls (and further Assert/Retract) fail.
 func (b *Batch) Commit() ([]uint64, error) {
+	return b.CommitContext(context.Background())
+}
+
+// CommitContext is Commit honoring ctx: cancellation is observed before
+// the batch acquires its relation locks; once the locks are held the
+// batch applies in full.
+func (b *Batch) CommitContext(ctx context.Context) ([]uint64, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
@@ -355,7 +369,7 @@ func (b *Batch) Commit() ([]uint64, error) {
 		return nil, errors.New("prodsys: batch already committed")
 	}
 	b.committed = true
-	ids, err := b.sys.eng.ApplyDelta(b.ops)
+	ids, err := b.sys.eng.ApplyDeltaContext(ctx, b.ops)
 	out := make([]uint64, len(ids))
 	for i, id := range ids {
 		out[i] = uint64(id)
@@ -421,13 +435,11 @@ func (s *System) RuleNames() []string {
 func (s *System) MatcherName() string { return s.matcher.Name() }
 
 // Stats snapshots the operation counters accumulated so far.
+//
+// Deprecated: use Metrics, which returns the same counters grouped into
+// typed sections alongside the raw map.
 func (s *System) Stats() map[string]int64 {
-	snap := s.stats.Snapshot()
-	out := make(map[string]int64, len(snap))
-	for k, v := range snap {
-		out[string(k)] = v
-	}
-	return out
+	return s.Metrics().Counters
 }
 
 // RulebaseQuery answers "which rules have a condition on class whose
