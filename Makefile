@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check fmt trace-demo
+.PHONY: build test bench check fmt fuzz-short trace-demo crash-demo
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,28 @@ check:
 fmt:
 	gofmt -w .
 
+# fuzz-short smoke-runs every fuzz target briefly; CI uses it to keep
+# the decoders honest without burning minutes.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeValue -fuzztime=$(FUZZTIME) ./internal/relation
+	$(GO) test -run=^$$ -fuzz=FuzzRestore -fuzztime=$(FUZZTIME) ./internal/relation
+	$(GO) test -run=^$$ -fuzz=FuzzScanLog -fuzztime=$(FUZZTIME) ./internal/wal
+
 # trace-demo records a traced payroll run: the per-rule profile prints
 # to stdout and the event stream lands in trace.json in Chrome
 # trace_event format (open at chrome://tracing or ui.perfetto.dev).
 trace-demo:
 	$(GO) run ./cmd/psbench -trace trace.json
+
+# crash-demo kills a WAL-attached run with SIGKILL mid-flight, then
+# reopens the log read-only to show recovery landing on the last
+# committed firing.
+crash-demo:
+	$(GO) build -o /tmp/psdb ./cmd/psdb
+	rm -f /tmp/crashdemo.wal /tmp/crashdemo.wal.ckpt
+	/tmp/psdb -wal /tmp/crashdemo.wal -checkpoint-every 64 -wm=false \
+		testdata/crashloop.ops & pid=$$!; \
+		sleep 1; kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+		echo "; killed psdb (pid $$pid) mid-run"
+	/tmp/psdb -wal /tmp/crashdemo.wal -run=false testdata/crashloop.ops

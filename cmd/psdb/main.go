@@ -11,12 +11,19 @@
 // Tracing flags record the run's execution events: -trace exports them
 // to a file (-trace-format jsonl or chrome), -profile prints the
 // per-rule profile table.
+//
+// Durability flags attach a write-ahead log: -wal names the log file
+// (reopening it recovers the previous run's committed state before
+// anything else happens), -wal-sync picks the sync policy,
+// -checkpoint-every compacts the log periodically, and -run=false
+// recovers and prints without firing any rules.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"prodsys"
 )
@@ -37,6 +44,11 @@ func main() {
 	traceOut := flag.String("trace", "", "record execution events and export them to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace export format: jsonl|chrome")
 	profile := flag.Bool("profile", false, "record execution events and print the per-rule profile")
+	walPath := flag.String("wal", "", "write-ahead log file; reopening recovers committed state")
+	walSync := flag.String("wal-sync", "always", "WAL sync policy: always|interval|never")
+	walSyncEvery := flag.Duration("wal-sync-interval", 100*time.Millisecond, "sync period for -wal-sync=interval")
+	ckptEvery := flag.Int("checkpoint-every", 0, "compact the WAL after this many committed units (0 = never)")
+	doRun := flag.Bool("run", true, "fire rules; -run=false only loads (and recovers) then prints")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -45,17 +57,30 @@ func main() {
 		os.Exit(2)
 	}
 	sys, err := prodsys.LoadFile(flag.Arg(0), prodsys.Options{
-		Matcher:    prodsys.Matcher(*matcher),
-		Strategy:   prodsys.Strategy(*strategy),
-		Seed:       *seed,
-		Workers:    *workers,
-		MaxFirings: *max,
-		SetAtATime: *setAtATime,
-		Out:        os.Stdout,
+		Matcher:            prodsys.Matcher(*matcher),
+		Strategy:           prodsys.Strategy(*strategy),
+		Seed:               *seed,
+		Workers:            *workers,
+		MaxFirings:         *max,
+		SetAtATime:         *setAtATime,
+		Out:                os.Stdout,
+		WALPath:            *walPath,
+		WALSync:            prodsys.WALSyncMode(*walSync),
+		WALSyncEvery:       *walSyncEvery,
+		WALCheckpointEvery: *ckptEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psdb:", err)
 		os.Exit(1)
+	}
+	defer sys.Close()
+	if info := sys.Recovery(); info.Recovered {
+		fmt.Printf("; recovered %d checkpoint tuples + %d logged txns (%d ops) in %v",
+			info.Tuples, info.Txns, info.Ops, info.Elapsed.Round(time.Microsecond))
+		if info.TornTail {
+			fmt.Printf(", torn tail truncated")
+		}
+		fmt.Println()
 	}
 
 	if *loadWM != "" {
@@ -74,24 +99,26 @@ func main() {
 		tracer = sys.Trace(prodsys.TraceOptions{})
 	}
 
-	var res prodsys.Result
-	if *concurrent {
-		res, err = sys.RunConcurrent()
-	} else {
-		res, err = sys.Run()
+	if *doRun {
+		var res prodsys.Result
+		if *concurrent {
+			res, err = sys.RunConcurrent()
+		} else {
+			res, err = sys.Run()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psdb:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("; %d firings, %d cycles", res.Firings, res.Cycles)
+		if *concurrent {
+			fmt.Printf(", %d aborts", res.Aborts)
+		}
+		if res.Halted {
+			fmt.Printf(", halted")
+		}
+		fmt.Println()
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "psdb:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("; %d firings, %d cycles", res.Firings, res.Cycles)
-	if *concurrent {
-		fmt.Printf(", %d aborts", res.Aborts)
-	}
-	if res.Halted {
-		fmt.Printf(", halted")
-	}
-	fmt.Println()
 
 	if *showWM {
 		fmt.Println("; final working memory:")

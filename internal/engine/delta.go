@@ -10,6 +10,7 @@ import (
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/trace"
+	"prodsys/internal/wal"
 )
 
 // DeltaOp is one operation of a batch submitted to ApplyDelta: an
@@ -95,23 +96,46 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 	e.stats.Inc(metrics.BatchDeltas)
 	e.stats.Add(metrics.BatchTuples, int64(len(ops)))
 
+	// With a WAL attached the applied operations are collected and logged
+	// as one atomic batch record at the commit point — still under
+	// maintMu, before the deferred lock release. When a mid-batch error
+	// leaves an applied prefix, that prefix is real (it was propagated to
+	// the matcher), so it is logged too.
+	var walOps []wal.Op
+	logBatch := func(ids []relation.TupleID, err error) ([]relation.TupleID, error) {
+		if e.wal == nil || len(walOps) == 0 {
+			return ids, err
+		}
+		if lerr := e.logBatchLocked(walOps); lerr != nil && err == nil {
+			err = lerr
+		}
+		return ids, err
+	}
+
 	ids := make([]relation.TupleID, len(ops))
 	if e.wmObserver != nil {
 		// Sequential fallback: views must see one change at a time.
 		for i, op := range ops {
 			if op.Retract {
 				if err := e.retractLocked(op.Class, op.ID); err != nil {
-					return ids, err
+					return logBatch(ids, err)
+				}
+				if e.wal != nil {
+					walOps = append(walOps, wal.Op{Retract: true, Class: op.Class, ID: op.ID})
 				}
 				continue
 			}
 			id, err := e.assertLocked(op.Class, op.Tuple)
 			if err != nil {
-				return ids, err
+				return logBatch(ids, err)
 			}
 			ids[i] = id
+			if e.wal != nil {
+				stored, _ := e.db.MustGet(op.Class).Get(id)
+				walOps = append(walOps, wal.Op{Class: op.Class, ID: id, Tuple: stored})
+			}
 		}
-		return ids, nil
+		return logBatch(ids, nil)
 	}
 
 	// Set-oriented path: mutate the WM relations first, then run the
@@ -132,6 +156,9 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 				break
 			}
 			e.stats.Inc(metrics.Counter("updates_" + op.Class))
+			if e.wal != nil {
+				walOps = append(walOps, wal.Op{Retract: true, Class: op.Class, ID: op.ID})
+			}
 			if inserted[born{op.Class, op.ID}] && delta.CancelInsert(op.Class, op.ID) {
 				continue // net zero: born and died within this batch
 			}
@@ -146,6 +173,9 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 		ids[i] = id
 		stored, _ := rel.Get(id)
 		e.stats.Inc(metrics.Counter("updates_" + op.Class))
+		if e.wal != nil {
+			walOps = append(walOps, wal.Op{Class: op.Class, ID: id, Tuple: stored})
+		}
 		inserted[born{op.Class, id}] = true
 		delta.AddInsert(op.Class, id, stored)
 	}
@@ -159,7 +189,7 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 		}
 	}
 	if err := match.ApplyDelta(e.matcher, delta); err != nil {
-		return ids, err
+		return logBatch(ids, err)
 	}
-	return ids, opErr
+	return logBatch(ids, opErr)
 }

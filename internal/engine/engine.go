@@ -19,10 +19,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prodsys/internal/conflict"
 	"prodsys/internal/joiner"
@@ -34,6 +36,7 @@ import (
 	"prodsys/internal/rules"
 	"prodsys/internal/trace"
 	"prodsys/internal/value"
+	"prodsys/internal/wal"
 )
 
 // ErrStale marks a transaction whose supporting tuples vanished between
@@ -115,6 +118,12 @@ type Engine struct {
 	// propagated to the matcher — the hook materialized views and external
 	// triggers attach to.
 	wmObserver func(inserted bool, class string, id relation.TupleID, t relation.Tuple)
+
+	// wal, when attached, receives one committed unit at each commit
+	// point: after the maintenance process completes, before locks
+	// release (§5.2's deferred commit, made durable). Appends happen
+	// under maintMu, so log order equals maintenance order.
+	wal *wal.Log
 }
 
 // CallFunc is a Go procedure reachable from a rule's (call name args...)
@@ -186,12 +195,184 @@ func (e *Engine) ConflictSet() *conflict.Set { return e.cs }
 // Locks exposes the lock manager (for tests and experiments).
 func (e *Engine) Locks() *lock.Manager { return e.locks }
 
+// SetWAL attaches an open write-ahead log: every unit committed from
+// here on — rule-firing transactions, batches, direct Assert/Retract —
+// is appended at its commit point. Attach after recovery replay, so
+// replayed units are not logged a second time.
+func (e *Engine) SetWAL(l *wal.Log) { e.wal = l }
+
+// WAL returns the attached write-ahead log, nil when durability is off.
+func (e *Engine) WAL() *wal.Log { return e.wal }
+
+// opRecorder accumulates the WM operations of one committed unit so the
+// commit hook can append them to the write-ahead log as one atomic
+// record group.
+type opRecorder struct{ ops []wal.Op }
+
+// recorder returns a fresh recorder when a WAL is attached; the nil it
+// returns otherwise disables collection in applyActions.
+func (e *Engine) recorder() *opRecorder {
+	if e.wal == nil {
+		return nil
+	}
+	return &opRecorder{}
+}
+
+// logTxnLocked appends one committed rule-firing unit to the WAL; the
+// caller holds maintMu, so the log order matches the maintenance order
+// and a due checkpoint snapshots a consistent WM. Units with no WM ops
+// are still logged: the begin record carries the instantiation key that
+// restores refraction state at recovery.
+func (e *Engine) logTxnLocked(key string, rec *opRecorder) error {
+	if e.wal == nil {
+		return nil
+	}
+	var ops []wal.Op
+	if rec != nil {
+		ops = rec.ops
+	}
+	if err := e.wal.AppendTxn(key, ops); err != nil {
+		return err
+	}
+	return e.maybeCheckpointLocked()
+}
+
+// logBatchLocked appends one committed batch unit; maintMu must be held.
+func (e *Engine) logBatchLocked(ops []wal.Op) error {
+	if e.wal == nil {
+		return nil
+	}
+	if err := e.wal.AppendBatch(ops); err != nil {
+		return err
+	}
+	return e.maybeCheckpointLocked()
+}
+
+// maybeCheckpointLocked compacts the log when the configured commit
+// count has elapsed; maintMu must be held (the dump is the snapshot).
+func (e *Engine) maybeCheckpointLocked() error {
+	if !e.wal.CheckpointDue() {
+		return nil
+	}
+	return e.wal.Checkpoint(e.db.Dump)
+}
+
+// Checkpoint forces a WAL checkpoint compaction under the maintenance
+// lock. A no-op without an attached WAL.
+func (e *Engine) Checkpoint() error {
+	if e.wal == nil {
+		return nil
+	}
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	return e.wal.Checkpoint(e.db.Dump)
+}
+
+// Replay applies recovered WAL units through storage and matcher
+// maintenance: assertions restore their original tuple IDs (so
+// conflict-set keys and recency survive the restart), retractions
+// delete, and each rule-firing unit's instantiation key is re-marked
+// fired, restoring refraction state. It returns the number of WM
+// operations applied. Call before SetWAL, so replayed units are not
+// re-logged.
+func (e *Engine) Replay(txns []wal.Txn) (int, error) {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	ops := 0
+	for _, t := range txns {
+		for _, op := range t.Ops {
+			var err error
+			if op.Retract {
+				err = e.replayRetractLocked(op.Class, op.ID)
+			} else {
+				err = e.replayAssertLocked(op.Class, op.ID, op.Tuple)
+			}
+			if err != nil {
+				return ops, fmt.Errorf("engine: replay: %w", err)
+			}
+			ops++
+		}
+		if !t.Batch && t.Key != "" {
+			e.cs.MarkFired(t.Key)
+		}
+	}
+	return ops, nil
+}
+
+// replayAssertLocked re-inserts a logged tuple under its original ID and
+// runs matcher maintenance. Recovery counters are the caller's concern;
+// the regular execution counters are left untouched.
+func (e *Engine) replayAssertLocked(class string, id relation.TupleID, t relation.Tuple) error {
+	rel, ok := e.db.Get(class)
+	if !ok {
+		return fmt.Errorf("%w %s", ErrUnknownClass, class)
+	}
+	if err := rel.InsertAt(id, t); err != nil {
+		return err
+	}
+	stored, _ := rel.Get(id)
+	if err := e.matcher.Insert(class, id, stored); err != nil {
+		return err
+	}
+	if e.wmObserver != nil {
+		e.wmObserver(true, class, id, stored)
+	}
+	return nil
+}
+
+// LogRestored appends one batch record covering tuples restored outside
+// the engine's own paths (System.RestoreWM), so a later recovery
+// reproduces them under their original IDs. A no-op without a WAL.
+func (e *Engine) LogRestored(rts []relation.RestoredTuple) error {
+	if e.wal == nil || len(rts) == 0 {
+		return nil
+	}
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	ops := make([]wal.Op, len(rts))
+	for i, rt := range rts {
+		ops[i] = wal.Op{Class: rt.Class, ID: rt.ID, Tuple: rt.Tuple}
+	}
+	return e.logBatchLocked(ops)
+}
+
+// replayRetractLocked re-applies a logged retraction.
+func (e *Engine) replayRetractLocked(class string, id relation.TupleID) error {
+	rel, ok := e.db.Get(class)
+	if !ok {
+		return fmt.Errorf("%w %s", ErrUnknownClass, class)
+	}
+	t, err := rel.Delete(id)
+	if err != nil {
+		return err
+	}
+	if err := e.matcher.Delete(class, id, t); err != nil {
+		return err
+	}
+	if e.wmObserver != nil {
+		e.wmObserver(false, class, id, t)
+	}
+	return nil
+}
+
 // Assert inserts a WM element and runs the maintenance process. It is the
-// entry point for initial facts and for make actions.
+// entry point for initial facts and external updates; with a WAL
+// attached the change is logged (and synced per policy) before Assert
+// returns.
 func (e *Engine) Assert(class string, t relation.Tuple) (relation.TupleID, error) {
 	e.maintMu.Lock()
 	defer e.maintMu.Unlock()
-	return e.assertLocked(class, t)
+	id, err := e.assertLocked(class, t)
+	if err != nil {
+		return id, err
+	}
+	if e.wal != nil {
+		stored, _ := e.db.MustGet(class).Get(id)
+		if lerr := e.logBatchLocked([]wal.Op{{Class: class, ID: id, Tuple: stored}}); lerr != nil {
+			return id, lerr
+		}
+	}
+	return id, nil
 }
 
 func (e *Engine) assertLocked(class string, t relation.Tuple) (relation.TupleID, error) {
@@ -223,11 +404,18 @@ func (e *Engine) assertLocked(class string, t relation.Tuple) (relation.TupleID,
 	return id, nil
 }
 
-// Retract deletes a WM element and runs the maintenance process.
+// Retract deletes a WM element and runs the maintenance process; with a
+// WAL attached the change is logged before Retract returns.
 func (e *Engine) Retract(class string, id relation.TupleID) error {
 	e.maintMu.Lock()
 	defer e.maintMu.Unlock()
-	return e.retractLocked(class, id)
+	if err := e.retractLocked(class, id); err != nil {
+		return err
+	}
+	if e.wal != nil {
+		return e.logBatchLocked([]wal.Op{{Retract: true, Class: class, ID: id}})
+	}
+	return nil
 }
 
 func (e *Engine) retractLocked(class string, id relation.TupleID) error {
@@ -273,13 +461,44 @@ func (e *Engine) LoadFacts(prog *lang.Program) error {
 
 // applyActions interprets the RHS of a fired instantiation. When lockedMu
 // is true the caller already holds maintMu (concurrent executor inside
-// its commit-scope). Returns whether a halt action ran.
-func (e *Engine) applyActions(in *conflict.Instantiation, lockedMu bool) (bool, error) {
-	assert := e.Assert
-	retract := e.Retract
-	if lockedMu {
-		assert = e.assertLocked
-		retract = e.retractLocked
+// its commit-scope). rec, when non-nil, collects the applied WM ops for
+// the caller's commit-point WAL append; the ops deliberately bypass the
+// per-op logging of the public Assert/Retract, which would split one
+// atomic firing across several log units. Returns whether a halt action
+// ran.
+func (e *Engine) applyActions(in *conflict.Instantiation, lockedMu bool, rec *opRecorder) (bool, error) {
+	baseAssert := e.assertLocked
+	baseRetract := e.retractLocked
+	if !lockedMu {
+		baseAssert = func(class string, t relation.Tuple) (relation.TupleID, error) {
+			e.maintMu.Lock()
+			defer e.maintMu.Unlock()
+			return e.assertLocked(class, t)
+		}
+		baseRetract = func(class string, id relation.TupleID) error {
+			e.maintMu.Lock()
+			defer e.maintMu.Unlock()
+			return e.retractLocked(class, id)
+		}
+	}
+	assert := baseAssert
+	retract := baseRetract
+	if rec != nil {
+		assert = func(class string, t relation.Tuple) (relation.TupleID, error) {
+			id, err := baseAssert(class, t)
+			if err == nil {
+				stored, _ := e.db.MustGet(class).Get(id)
+				rec.ops = append(rec.ops, wal.Op{Class: class, ID: id, Tuple: stored})
+			}
+			return id, err
+		}
+		retract = func(class string, id relation.TupleID) error {
+			err := baseRetract(class, id)
+			if err == nil {
+				rec.ops = append(rec.ops, wal.Op{Retract: true, Class: class, ID: id})
+			}
+			return err
+		}
 	}
 	b := in.Bindings.Clone()
 	halted := false
@@ -378,9 +597,10 @@ func (e *Engine) applyActions(in *conflict.Instantiation, lockedMu bool) (bool, 
 // ApplyForExploration fires one instantiation's actions immediately,
 // outside any executor and without locking — the primitive the
 // experiment harness uses to exhaustively enumerate serial schedules
-// (every possible Select choice of §2.1).
+// (every possible Select choice of §2.1). Exploration firings are not
+// WAL-logged; the harness explores alternatives, it does not commit.
 func (e *Engine) ApplyForExploration(in *conflict.Instantiation) (halted bool, err error) {
-	return e.applyActions(in, false)
+	return e.applyActions(in, false, nil)
 }
 
 // RunSerial executes the OPS5 recognize-act cycle: Match (incremental,
@@ -420,8 +640,9 @@ func (e *Engine) RunSerialContext(ctx context.Context) (Result, error) {
 				continue // retracted by an earlier member of the batch
 			}
 			e.cs.MarkFired(bi.Key())
+			rec := e.recorder()
 			t0 := e.tr.Now()
-			halted, err := e.applyActions(bi, false)
+			halted, err := e.applyActions(bi, false, rec)
 			if e.tr.Enabled() {
 				e.tr.Emit(trace.Event{
 					Kind: trace.KindRuleFire, At: t0, Dur: e.tr.Now() - t0,
@@ -430,6 +651,16 @@ func (e *Engine) RunSerialContext(ctx context.Context) (Result, error) {
 			}
 			if err != nil {
 				return res, err
+			}
+			if e.wal != nil {
+				// Commit point: the firing's maintenance is complete; log
+				// it as one unit before the cycle moves on.
+				e.maintMu.Lock()
+				lerr := e.logTxnLocked(bi.Key(), rec)
+				e.maintMu.Unlock()
+				if lerr != nil {
+					return res, lerr
+				}
 			}
 			res.Firings++
 			e.stats.Inc(metrics.RuleFirings)
@@ -565,18 +796,28 @@ func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) error {
 		return ErrStale
 	}
 	e.cs.MarkFired(in.Key())
+	rec := e.recorder()
 	tAct := e.tr.Now()
-	_, err := e.applyActions(in, true)
+	_, err := e.applyActions(in, true, rec)
 	if e.tr.Enabled() {
 		e.tr.Emit(trace.Event{
 			Kind: trace.KindRuleFire, At: tAct, Dur: e.tr.Now() - tAct,
 			Rule: in.Rule.Name, CE: -1, ID: uint64(txn), Count: 1, Extra: in.Key(),
 		})
 	}
+	// Commit point (§5.2): maintenance is complete; make the unit durable
+	// before the locks release.
+	var logErr error
+	if err == nil {
+		logErr = e.logTxnLocked(in.Key(), rec)
+	}
 	e.maintMu.Unlock()
 	commit()
 	if err != nil {
 		return err
+	}
+	if logErr != nil {
+		return logErr
 	}
 	e.stats.Inc(metrics.RuleFirings)
 	e.stats.Inc(metrics.TxnCommits)
@@ -599,6 +840,27 @@ func (e *Engine) emitTxnAbort(in *conflict.Instantiation, txn lock.TxnID, reason
 		Kind: trace.KindTxnAbort, At: e.tr.Now(),
 		Rule: in.Rule.Name, CE: -1, ID: uint64(txn), Extra: reason,
 	})
+}
+
+// Deadlock-victim retry bounds: exponential backoff from
+// txnBackoffBase, capped at txnBackoffCap, at most maxTxnRetries
+// attempts after the first. The cap keeps a pathological workload from
+// turning retries into a livelock of sleeps; the jitter de-synchronizes
+// victims that would otherwise collide again.
+const (
+	maxTxnRetries  = 16
+	txnBackoffBase = 50 * time.Microsecond
+	txnBackoffCap  = 5 * time.Millisecond
+)
+
+// retryBackoff returns the jittered exponential delay before retry
+// attempt n (1-based): uniform in [d/2, 3d/2) around the nominal d.
+func retryBackoff(n int) time.Duration {
+	d := txnBackoffBase << uint(n-1)
+	if d <= 0 || d > txnBackoffCap {
+		d = txnBackoffCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // RunConcurrent executes the conflict set in rounds: each round takes the
@@ -645,6 +907,21 @@ func (e *Engine) RunConcurrentContext(ctx context.Context) (Result, error) {
 						continue
 					}
 					err := e.runTxn(ctx, in)
+					// A deadlock victim is retried with bounded jittered
+					// backoff rather than dropped: its instantiation is
+					// still applicable (nothing invalidated it — it lost a
+					// cycle tie-break), and dropping it strands the firing
+					// until the next round, or forever when no next round
+					// comes. Each aborted attempt still counts as an abort,
+					// keeping Result.Aborts in lock-step with the TxnAborts
+					// counter and the txn_abort event stream.
+					for attempt := 1; errors.Is(err, lock.ErrAborted) &&
+						attempt <= maxTxnRetries && !e.halted.Load() && ctx.Err() == nil; attempt++ {
+						aborted.Add(1)
+						e.stats.Inc(metrics.TxnRetries)
+						time.Sleep(retryBackoff(attempt))
+						err = e.runTxn(ctx, in)
+					}
 					switch {
 					case err == nil:
 						fired.Add(1)

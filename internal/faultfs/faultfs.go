@@ -1,0 +1,198 @@
+// Package faultfs is an in-memory fsx.FS with fault injection: it can
+// fail a write outright, perform a short (torn) write, or "crash" —
+// freeze the filesystem at an arbitrary operation boundary so a test can
+// reboot from the surviving bytes and drive recovery. The write-ahead
+// log writes one record per Write call, so counting writes gives tests a
+// crash point at every record boundary.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"prodsys/internal/fsx"
+)
+
+// ErrInjected marks a write failed by fault injection.
+var ErrInjected = errors.New("faultfs: injected write failure")
+
+// ErrCrashed marks an operation attempted after the filesystem crashed.
+var ErrCrashed = errors.New("faultfs: filesystem has crashed")
+
+// FS is an in-memory filesystem with programmable faults. The zero
+// value is not usable; create with New.
+type FS struct {
+	mu      sync.Mutex
+	files   map[string][]byte
+	writes  int // completed Write calls across all files
+	crashed bool
+
+	// failAt, when > 0, makes the Nth Write call (1-based, counted
+	// across all files) fail. shortBy controls how many bytes of that
+	// write still reach the file before the failure — a torn write.
+	failAt  int
+	shortBy int
+	// crashOnFail escalates the injected failure to a full crash.
+	crashOnFail bool
+}
+
+// New creates an empty fault-free filesystem.
+func New() *FS { return &FS{files: make(map[string][]byte)} }
+
+// FromSnapshot creates a filesystem pre-populated with the given files —
+// the "reboot" after a crash.
+func FromSnapshot(files map[string][]byte) *FS {
+	f := New()
+	for name, data := range files {
+		f.files[name] = append([]byte(nil), data...)
+	}
+	return f
+}
+
+// FailWrite arranges for the n-th Write call from now (1-based, counted
+// across all files) to fail after writing the first keep bytes. With
+// crash=true the filesystem also crashes at that point: every later
+// operation returns ErrCrashed.
+func (f *FS) FailWrite(n, keep int, crash bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = f.writes + n
+	f.shortBy = keep
+	f.crashOnFail = crash
+}
+
+// Writes returns the number of completed Write calls so far.
+func (f *FS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Crashed reports whether the filesystem has crashed.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Snapshot copies the current file contents — the bytes that survive
+// the crash.
+func (f *FS) Snapshot() map[string][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]byte, len(f.files))
+	for name, data := range f.files {
+		out[name] = append([]byte(nil), data...)
+	}
+	return out
+}
+
+// file is one open handle.
+type file struct {
+	fs   *FS
+	name string
+}
+
+// Write appends to the file, honoring any injected fault.
+func (h *file) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	h.fs.writes++
+	if h.fs.failAt > 0 && h.fs.writes == h.fs.failAt {
+		keep := h.fs.shortBy
+		if keep > len(p) {
+			keep = len(p)
+		}
+		h.fs.files[h.name] = append(h.fs.files[h.name], p[:keep]...)
+		if h.fs.crashOnFail {
+			h.fs.crashed = true
+			return keep, ErrCrashed
+		}
+		return keep, ErrInjected
+	}
+	h.fs.files[h.name] = append(h.fs.files[h.name], p...)
+	return len(p), nil
+}
+
+// Sync is a no-op in memory (every write is immediately "stable").
+func (h *file) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Close implements fsx.File.
+func (h *file) Close() error { return nil }
+
+// Create implements fsx.FS.
+func (f *FS) Create(name string) (fsx.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	f.files[name] = nil
+	return &file{fs: f, name: name}, nil
+}
+
+// OpenAppend implements fsx.FS.
+func (f *FS) OpenAppend(name string) (fsx.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	if _, ok := f.files[name]; !ok {
+		f.files[name] = nil
+	}
+	return &file{fs: f, name: name}, nil
+}
+
+// ReadFile implements fsx.FS.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	data, ok := f.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Rename implements fsx.FS.
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	data, ok := f.files[oldname]
+	if !ok {
+		return fmt.Errorf("faultfs: rename %s: %w", oldname, fs.ErrNotExist)
+	}
+	f.files[newname] = data
+	delete(f.files, oldname)
+	return nil
+}
+
+// Remove implements fsx.FS.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	delete(f.files, name)
+	return nil
+}

@@ -1,0 +1,122 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+
+	"prodsys/internal/fsx"
+)
+
+func TestBasicFileOps(t *testing.T) {
+	fs := New()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("one"))
+	f.Close()
+	g, _ := fs.OpenAppend("a")
+	g.Write([]byte("two"))
+	g.Close()
+	data, err := fs.ReadFile("a")
+	if err != nil || string(data) != "onetwo" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if _, err := fs.ReadFile("missing"); !os.IsNotExist(err) {
+		t.Fatalf("missing file error: %v", err)
+	}
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("a"); !os.IsNotExist(err) {
+		t.Fatal("old name still readable after rename")
+	}
+	if fs.Writes() != 2 {
+		t.Fatalf("writes = %d, want 2", fs.Writes())
+	}
+}
+
+func TestInjectedShortWrite(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("a")
+	fs.FailWrite(1, 2, false)
+	n, err := f.Write([]byte("hello"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	// Not crashed: later writes succeed, torn bytes persist.
+	if _, err := f.Write([]byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("a")
+	if string(data) != "he!" {
+		t.Fatalf("contents %q", data)
+	}
+}
+
+func TestCrashFreezesEverything(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("a")
+	f.Write([]byte("durable"))
+	fs.FailWrite(1, 3, true)
+	if _, err := f.Write([]byte("lost")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write error: %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("not crashed")
+	}
+	for _, op := range []func() error{
+		func() error { _, err := fs.Create("x"); return err },
+		func() error { _, err := fs.OpenAppend("a"); return err },
+		func() error { _, err := fs.ReadFile("a"); return err },
+		func() error { return fs.Rename("a", "b") },
+		func() error { return fs.Remove("a") },
+		f.Sync,
+	} {
+		if err := op(); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("post-crash op error: %v", err)
+		}
+	}
+	// The snapshot is the surviving disk: pre-crash bytes plus the kept
+	// prefix of the torn write.
+	snap := fs.Snapshot()
+	if string(snap["a"]) != "durablelos" {
+		t.Fatalf("surviving bytes %q", snap["a"])
+	}
+	// Reboot: a fresh FS from the snapshot works again.
+	fs2 := FromSnapshot(snap)
+	if data, err := fs2.ReadFile("a"); err != nil || string(data) != "durablelos" {
+		t.Fatalf("reboot read: %q %v", data, err)
+	}
+}
+
+func TestWriteAtomicThroughFaults(t *testing.T) {
+	fs := New()
+	// Baseline success.
+	if err := fsx.WriteAtomic(fs, "cfg", func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := fs.ReadFile("cfg"); string(data) != "v1" {
+		t.Fatalf("atomic write contents %q", data)
+	}
+	// A failed write leaves the previous version and no temp file.
+	fs.FailWrite(1, 0, false)
+	err := fsx.WriteAtomic(fs, "cfg", func(w io.Writer) error {
+		_, err := w.Write([]byte("v2"))
+		return err
+	})
+	if err == nil {
+		t.Fatal("atomic write with injected failure succeeded")
+	}
+	if data, _ := fs.ReadFile("cfg"); string(data) != "v1" {
+		t.Fatalf("previous version lost: %q", data)
+	}
+	if _, err := fs.ReadFile("cfg.tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}

@@ -1,0 +1,113 @@
+// Package fsx is the small filesystem seam the durability layer writes
+// through. The write-ahead log and the checkpointer never touch the os
+// package directly; they go through an FS so tests can substitute the
+// fault-injecting implementation in internal/faultfs and exercise every
+// failure mode — failed writes, short writes, crashes between record
+// boundaries — without a real disk.
+//
+// The package also provides WriteAtomic, the temp-file + fsync + rename
+// idiom every durable file in this repository is written with: a crash
+// at any point leaves either the previous complete file or the new
+// complete file, never a torn mixture.
+package fsx
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is a writable file handle.
+type File interface {
+	io.Writer
+	// Sync forces buffered writes to stable storage.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the durability layer needs.
+type FS interface {
+	// Create opens the named file for writing, truncating it if it
+	// exists.
+	Create(name string) (File, error)
+	// OpenAppend opens the named file for appending, creating it if
+	// absent.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the named file's contents; the error satisfies
+	// os.IsNotExist when the file is absent.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS. After the rename the containing directory is
+// fsynced (best effort) so the new directory entry itself is durable.
+func (OS) Rename(oldname, newname string) error {
+	if err := os.Rename(oldname, newname); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(newname))
+	return nil
+}
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// syncDir fsyncs a directory so renames within it survive a crash.
+// Errors are ignored: some filesystems refuse to sync directories, and
+// the rename itself already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// WriteAtomic writes a file through the temp + fsync + rename protocol:
+// write produces the contents into a temporary sibling, the temp file is
+// fsynced and closed, and only then renamed over path. A crash at any
+// point leaves either the old complete file or the new complete file.
+func WriteAtomic(fs FS, path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return nil
+}

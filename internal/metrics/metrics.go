@@ -57,6 +57,18 @@ const (
 	BatchDeltas       Counter = "batch_deltas"       // deltas applied set-at-a-time
 	BatchTuples       Counter = "batch_tuples"       // tuples carried by those deltas
 	BatchPropagations Counter = "batch_propagations" // per-(class,direction) maintenance passes
+
+	// Durability level (internal/wal).
+	TxnRetries     Counter = "txn_retries"     // deadlock victims retried with backoff
+	WALAppends     Counter = "wal_appends"     // committed units (txns + batches) logged
+	WALRecords     Counter = "wal_records"     // individual records written
+	WALBytes       Counter = "wal_bytes"       // bytes appended to the log
+	WALSyncs       Counter = "wal_syncs"       // fsyncs issued by the sync policy
+	WALCheckpoints Counter = "wal_checkpoints" // checkpoint compactions completed
+	RecoveryTxns   Counter = "recovery_txns"   // committed units replayed at open
+	RecoveryOps    Counter = "recovery_ops"    // WM operations replayed at open
+	RecoveryTuples Counter = "recovery_tuples" // checkpoint tuples restored at open
+	RecoveryNanos  Counter = "recovery_ns"     // wall time spent in recovery replay
 )
 
 // Set is a concurrent counter bag. The zero Set is ready to use.

@@ -20,8 +20,9 @@ import (
 // conflict-set keys and recency stay meaningful — the working memory "can
 // reside on secondary storage and be persistent" (paper §3.2).
 
-// encodeValue renders one value for the dump format.
-func encodeValue(v value.V) string {
+// EncodeValue renders one value in the kind-prefixed dump encoding. The
+// write-ahead log uses the same encoding for tuple payloads.
+func EncodeValue(v value.V) string {
 	switch v.Kind() {
 	case value.Int:
 		return "i:" + strconv.FormatInt(v.AsInt(), 10)
@@ -36,8 +37,8 @@ func encodeValue(v value.V) string {
 	}
 }
 
-// decodeValue parses one dumped value.
-func decodeValue(s string) (value.V, error) {
+// DecodeValue parses one value in the kind-prefixed dump encoding.
+func DecodeValue(s string) (value.V, error) {
 	if len(s) < 2 || s[1] != ':' {
 		return value.V{}, fmt.Errorf("relation: malformed value %q", s)
 	}
@@ -84,7 +85,7 @@ func (db *DB) Dump(w io.Writer) error {
 			parts := make([]string, 1, len(t)+1)
 			parts[0] = strconv.FormatUint(uint64(id), 10)
 			for _, v := range t {
-				parts = append(parts, encodeValue(v))
+				parts = append(parts, EncodeValue(v))
 			}
 			if _, err := fmt.Fprintln(bw, strings.Join(parts, "\t")); err != nil {
 				scanErr = err
@@ -111,12 +112,36 @@ type RestoredTuple struct {
 // with matching schemas (the rule program defines them); tuple IDs are
 // preserved. The restored tuples are returned in file order so the caller
 // can replay them through its matcher.
+//
+// Restore is all-or-nothing: the whole dump is parsed and validated —
+// headers against the catalog, values, tuple IDs against both the live
+// contents and the dump itself — before any relation is mutated. On
+// error the catalog is untouched and no tuples are returned.
 func (db *DB) Restore(r io.Reader) ([]RestoredTuple, error) {
+	staged, err := db.parseDump(r)
+	if err != nil {
+		return nil, err
+	}
+	// Validation passed for every line; apply the whole dump.
+	for _, rt := range staged {
+		if err := db.MustGet(rt.Class).insertWithID(rt.ID, rt.Tuple); err != nil {
+			// Unreachable after validation; report rather than panic.
+			return nil, fmt.Errorf("relation: restore apply: %v", err)
+		}
+	}
+	return staged, nil
+}
+
+// parseDump reads and validates a dump without touching the catalog.
+func (db *DB) parseDump(r io.Reader) ([]RestoredTuple, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	var cur *Relation
 	var curName string
 	var out []RestoredTuple
+	// seen guards against duplicate IDs within the dump; live IDs are
+	// checked against the relation itself.
+	seen := map[string]map[TupleID]bool{}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -127,59 +152,67 @@ func (db *DB) Restore(r io.Reader) ([]RestoredTuple, error) {
 		if strings.HasPrefix(text, "#relation ") {
 			fields := strings.Fields(text)
 			if len(fields) < 3 {
-				return out, fmt.Errorf("relation: line %d: malformed header %q", line, text)
+				return nil, fmt.Errorf("relation: line %d: malformed header %q", line, text)
 			}
 			name := fields[1]
 			rel, ok := db.Get(name)
 			if !ok {
-				return out, fmt.Errorf("relation: line %d: relation %s not in catalog", line, name)
+				return nil, fmt.Errorf("relation: line %d: relation %s not in catalog", line, name)
 			}
 			attrs := rel.Schema().Attrs()
 			if len(attrs) != len(fields)-2 {
-				return out, fmt.Errorf("relation: line %d: %s has %d attributes, dump has %d",
+				return nil, fmt.Errorf("relation: line %d: %s has %d attributes, dump has %d",
 					line, name, len(attrs), len(fields)-2)
 			}
 			for i, a := range attrs {
 				if a != fields[i+2] {
-					return out, fmt.Errorf("relation: line %d: attribute mismatch %q vs %q", line, a, fields[i+2])
+					return nil, fmt.Errorf("relation: line %d: attribute mismatch %q vs %q", line, a, fields[i+2])
 				}
 			}
 			cur, curName = rel, name
+			if seen[curName] == nil {
+				seen[curName] = map[TupleID]bool{}
+			}
 			continue
 		}
 		if cur == nil {
-			return out, fmt.Errorf("relation: line %d: tuple before any #relation header", line)
+			return nil, fmt.Errorf("relation: line %d: tuple before any #relation header", line)
 		}
 		parts := strings.Split(text, "\t")
 		if len(parts) != cur.Schema().Arity()+1 {
-			return out, fmt.Errorf("relation: line %d: expected %d fields, got %d",
+			return nil, fmt.Errorf("relation: line %d: expected %d fields, got %d",
 				line, cur.Schema().Arity()+1, len(parts))
 		}
 		idU, err := strconv.ParseUint(parts[0], 10, 64)
 		if err != nil {
-			return out, fmt.Errorf("relation: line %d: bad tuple id %q", line, parts[0])
+			return nil, fmt.Errorf("relation: line %d: bad tuple id %q", line, parts[0])
 		}
 		t := make(Tuple, len(parts)-1)
 		for i, p := range parts[1:] {
-			v, err := decodeValue(p)
+			v, err := DecodeValue(p)
 			if err != nil {
-				return out, fmt.Errorf("relation: line %d: %v", line, err)
+				return nil, fmt.Errorf("relation: line %d: %v", line, err)
 			}
 			t[i] = v
 		}
 		id := TupleID(idU)
-		if err := cur.insertWithID(id, t); err != nil {
-			return out, fmt.Errorf("relation: line %d: %v", line, err)
+		if seen[curName][id] {
+			return nil, fmt.Errorf("relation: line %d: relation %s: duplicate tuple id %d", line, curName, id)
 		}
+		if _, live := cur.Get(id); live {
+			return nil, fmt.Errorf("relation: line %d: relation %s: tuple id %d already live", line, curName, id)
+		}
+		seen[curName][id] = true
 		out = append(out, RestoredTuple{Class: curName, ID: id, Tuple: t})
 	}
 	if err := sc.Err(); err != nil {
-		return out, err
+		return nil, err
 	}
 	return out, nil
 }
 
-// insertWithID stores a tuple under a specific ID (restore path only).
+// insertWithID stores a tuple under a specific ID (restore and recovery
+// paths only).
 func (r *Relation) insertWithID(id TupleID, t Tuple) error {
 	if len(t) != r.schema.Arity() {
 		return fmt.Errorf("relation %s: arity mismatch", r.Name())
@@ -206,4 +239,12 @@ func (r *Relation) insertWithID(id TupleID, t Tuple) error {
 		ix.add(ct[pos], id)
 	}
 	return nil
+}
+
+// InsertAt stores a tuple under a caller-chosen ID — the write-ahead-log
+// recovery path, which must reproduce the exact IDs the original run
+// assigned so conflict-set keys and recency survive a restart. It is an
+// error if the ID is already live.
+func (r *Relation) InsertAt(id TupleID, t Tuple) error {
+	return r.insertWithID(id, t)
 }

@@ -126,7 +126,7 @@ func TestEncodeDecodeValueProperty(t *testing.T) {
 		{},
 	}
 	for _, v := range vals {
-		got, err := decodeValue(encodeValue(v))
+		got, err := DecodeValue(EncodeValue(v))
 		if err != nil {
 			t.Fatalf("round trip of %v: %v", v, err)
 		}

@@ -43,6 +43,11 @@ const (
 	KindTxnAbort    // a rule-firing transaction aborted (Extra = reason)
 	// Batch layer.
 	KindBatchApply // a set-oriented delta was applied (Count = operations)
+	// Durability layer.
+	KindWALAppend      // a committed unit was appended to the write-ahead log (Count = records)
+	KindWALSync        // the log was fsynced (Dur = sync time)
+	KindCheckpoint     // a checkpoint compaction ran (Count = tuples snapshotted)
+	KindRecoveryReplay // recovery replayed the checkpoint + log tail (Count = units replayed)
 
 	kindCount
 )
@@ -63,6 +68,10 @@ var kindNames = [kindCount]string{
 	KindTxnCommit:        "txn_commit",
 	KindTxnAbort:         "txn_abort",
 	KindBatchApply:       "batch_apply",
+	KindWALAppend:        "wal_append",
+	KindWALSync:          "wal_sync",
+	KindCheckpoint:       "checkpoint",
+	KindRecoveryReplay:   "recovery_replay",
 }
 
 // String returns the stable snake_case name of the kind.

@@ -1,0 +1,69 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"prodsys/internal/faultfs"
+)
+
+// fuzzSeedLog builds a small valid log to seed the fuzzer with
+// realistic record framing.
+func fuzzSeedLog() []byte {
+	fs := faultfs.New()
+	l, _, err := Open("seed.wal", Options{FS: fs})
+	if err != nil {
+		panic(err)
+	}
+	l.AppendTxn("R|1|2", sampleOps())
+	l.AppendBatch(sampleOps()[:2])
+	l.AppendTxn("S|9", nil)
+	l.Close()
+	return fs.Snapshot()["seed.wal"]
+}
+
+// FuzzScanLog asserts the record decoder never panics on arbitrary
+// bytes and maintains its structural invariants: boundaries start at
+// the header, increase strictly, never pass the input length, and the
+// committed-unit count is monotone over record-boundary prefixes.
+func FuzzScanLog(f *testing.F) {
+	seed := fuzzSeedLog()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])                           // torn tail
+	f.Add([]byte(Magic))                                // header only, epoch missing
+	f.Add(append(bytes.Repeat([]byte{0}, 16), 1, 2, 3)) // wrong magic
+	mut := append([]byte(nil), seed...)
+	mut[20] ^= 0xff // corrupt a record
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, txns, bounds, torn := ScanLog(data)
+		if len(bounds) == 0 {
+			if len(txns) != 0 {
+				t.Fatal("units without a valid header")
+			}
+			return
+		}
+		if bounds[0] != int64(headerLen) {
+			t.Fatalf("first boundary %d, want %d", bounds[0], headerLen)
+		}
+		prev := int64(0)
+		for _, b := range bounds {
+			if b <= prev && prev != 0 || b > int64(len(data)) {
+				t.Fatalf("boundary %d out of order or past input %d", b, len(data))
+			}
+			prev = b
+		}
+		if !torn && bounds[len(bounds)-1] != int64(len(data)) {
+			t.Fatal("clean scan did not consume the whole input")
+		}
+		// Unit count is monotone over boundary prefixes.
+		prevUnits := 0
+		for _, b := range bounds {
+			_, units, _, _ := ScanLog(data[:b])
+			if len(units) < prevUnits {
+				t.Fatalf("unit count decreased at boundary %d", b)
+			}
+			prevUnits = len(units)
+		}
+	})
+}

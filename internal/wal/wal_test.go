@@ -1,0 +1,390 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"prodsys/internal/faultfs"
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+	"prodsys/internal/value"
+)
+
+const testPath = "wm.wal"
+
+func openMem(t *testing.T, fs *faultfs.FS, opts Options) (*Log, *Recovered) {
+	t.Helper()
+	opts.FS = fs
+	l, rec, err := Open(testPath, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func sampleOps() []Op {
+	return []Op{
+		{Class: "Emp", ID: 1, Tuple: relation.Tuple{value.OfSym("Ann"), value.OfInt(100)}},
+		{Class: "Emp", ID: 2, Tuple: relation.Tuple{value.OfString("x\ty\n"), value.OfFloat(2.5)}},
+		{Retract: true, Class: "Emp", ID: 1},
+		{Class: "Dept", ID: 7, Tuple: relation.Tuple{value.V{}}},
+	}
+}
+
+func opsEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Retract != b[i].Retract || a[i].Class != b[i].Class || a[i].ID != b[i].ID {
+			return false
+		}
+		if len(a[i].Tuple) != len(b[i].Tuple) {
+			return false
+		}
+		for j := range a[i].Tuple {
+			if EncodeOpValue(a[i].Tuple[j]) != EncodeOpValue(b[i].Tuple[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EncodeOpValue mirrors the log's value encoding for comparisons.
+func EncodeOpValue(v value.V) string { return relation.EncodeValue(v) }
+
+func TestRoundTrip(t *testing.T) {
+	fs := faultfs.New()
+	l, rec := openMem(t, fs, Options{})
+	if rec.Existed {
+		t.Fatal("fresh log reports Existed")
+	}
+	ops := sampleOps()
+	if err := l.AppendTxn("R|1|2", ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendTxn("S|9", nil); err != nil { // zero-op firing: key only
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(ops[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2 := openMem(t, fs, Options{})
+	defer l2.Close()
+	if !rec2.Existed || rec2.TornTail {
+		t.Fatalf("recovered: existed=%v torn=%v", rec2.Existed, rec2.TornTail)
+	}
+	if len(rec2.Txns) != 3 {
+		t.Fatalf("recovered %d units, want 3", len(rec2.Txns))
+	}
+	if rec2.Txns[0].Key != "R|1|2" || rec2.Txns[0].Batch || !opsEqual(rec2.Txns[0].Ops, ops) {
+		t.Fatalf("unit 0 mismatch: %+v", rec2.Txns[0])
+	}
+	if rec2.Txns[1].Key != "S|9" || len(rec2.Txns[1].Ops) != 0 {
+		t.Fatalf("unit 1 mismatch: %+v", rec2.Txns[1])
+	}
+	if !rec2.Txns[2].Batch || !opsEqual(rec2.Txns[2].Ops, ops[:2]) {
+		t.Fatalf("unit 2 mismatch: %+v", rec2.Txns[2])
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		stats := &metrics.Set{}
+		l, _ := openMem(t, faultfs.New(), Options{Policy: SyncAlways, Stats: stats})
+		defer l.Close()
+		for i := 0; i < 3; i++ {
+			if err := l.AppendTxn("k", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := stats.Get(metrics.WALSyncs); got != 3 {
+			t.Fatalf("always: %d syncs, want 3", got)
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		stats := &metrics.Set{}
+		l, _ := openMem(t, faultfs.New(), Options{Policy: SyncNever, Stats: stats})
+		for i := 0; i < 3; i++ {
+			if err := l.AppendTxn("k", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := stats.Get(metrics.WALSyncs); got != 0 {
+			t.Fatalf("never: %d syncs before close, want 0", got)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := stats.Get(metrics.WALSyncs); got != 1 {
+			t.Fatalf("never: %d syncs after close, want 1", got)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		stats := &metrics.Set{}
+		l, _ := openMem(t, faultfs.New(), Options{Policy: SyncInterval, Interval: time.Hour, Stats: stats})
+		defer l.Close()
+		for i := 0; i < 3; i++ {
+			if err := l.AppendTxn("k", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := stats.Get(metrics.WALSyncs); got != 0 {
+			t.Fatalf("interval(1h): %d syncs, want 0", got)
+		}
+		l.lastSync = time.Now().Add(-2 * time.Hour)
+		if err := l.AppendTxn("k", nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := stats.Get(metrics.WALSyncs); got != 1 {
+			t.Fatalf("interval elapsed: %d syncs, want 1", got)
+		}
+	})
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	fs := faultfs.New()
+	l, _ := openMem(t, fs, Options{})
+	if err := l.AppendTxn("A", sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendTxn("B", sampleOps()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Cut the file mid-way through the last unit's commit record.
+	snap := fs.Snapshot()
+	data := snap[testPath]
+	snap[testPath] = data[:len(data)-3]
+
+	l2, rec := openMem(t, faultfs.FromSnapshot(snap), Options{})
+	if !rec.TornTail {
+		t.Fatal("torn tail not detected")
+	}
+	if len(rec.Txns) != 1 || rec.Txns[0].Key != "A" {
+		t.Fatalf("recovered %+v, want just unit A", rec.Txns)
+	}
+	// The log was normalized: appending works and a third open is clean.
+	if err := l2.AppendTxn("C", nil); err != nil {
+		t.Fatal(err)
+	}
+	fs3 := faultfs.FromSnapshot(mustSnapshot(l2))
+	l2.Close()
+	_, rec3 := openMem(t, fs3, Options{})
+	if rec3.TornTail || len(rec3.Txns) != 2 || rec3.Txns[1].Key != "C" {
+		t.Fatalf("after normalize: torn=%v txns=%+v", rec3.TornTail, rec3.Txns)
+	}
+}
+
+// mustSnapshot reaches through the log's FS; tests only.
+func mustSnapshot(l *Log) map[string][]byte {
+	return l.fs.(*faultfs.FS).Snapshot()
+}
+
+func TestCorruptMiddleRecordTruncates(t *testing.T) {
+	fs := faultfs.New()
+	l, _ := openMem(t, fs, Options{})
+	l.AppendTxn("A", nil)
+	l.AppendTxn("B", nil)
+	l.Close()
+
+	snap := fs.Snapshot()
+	data := snap[testPath]
+	_, _, bounds, _ := ScanLog(data)
+	// Flip a payload byte inside the second unit's first record.
+	data[bounds[3]+9] ^= 0xff
+	_, rec := openMem(t, faultfs.FromSnapshot(snap), Options{})
+	if !rec.TornTail || len(rec.Txns) != 1 || rec.Txns[0].Key != "A" {
+		t.Fatalf("corrupt record: torn=%v txns=%+v", rec.TornTail, rec.Txns)
+	}
+}
+
+func TestAppendFailureIsSticky(t *testing.T) {
+	fs := faultfs.New()
+	l, _ := openMem(t, fs, Options{})
+	fs.FailWrite(1, 2, false) // torn write, no crash
+	if err := l.AppendTxn("A", nil); err == nil {
+		t.Fatal("append with injected failure succeeded")
+	}
+	err := l.AppendTxn("B", nil)
+	if err == nil || !strings.Contains(err.Error(), "append") {
+		t.Fatalf("sticky error not returned: %v", err)
+	}
+	// The torn bytes on disk are truncated at next open.
+	_, rec := openMem(t, faultfs.FromSnapshot(fs.Snapshot()), Options{})
+	if len(rec.Txns) != 0 || !rec.TornTail {
+		t.Fatalf("after torn append: txns=%+v torn=%v", rec.Txns, rec.TornTail)
+	}
+}
+
+func TestClosedLogRefusesAppends(t *testing.T) {
+	l, _ := openMem(t, faultfs.New(), Options{})
+	l.Close()
+	if err := l.AppendTxn("A", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Checkpoint(func(io.Writer) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("checkpoint after close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func dumpConst(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+func TestCheckpointCompaction(t *testing.T) {
+	fs := faultfs.New()
+	stats := &metrics.Set{}
+	l, _ := openMem(t, fs, Options{Stats: stats})
+	l.AppendTxn("A", sampleOps())
+	l.AppendTxn("B", nil)
+	if err := l.Checkpoint(dumpConst("#relation Emp name\n1\ty:a\n")); err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch() != 2 {
+		t.Fatalf("epoch after checkpoint = %d, want 2", l.Epoch())
+	}
+	l.AppendTxn("C", nil)
+	l.Close()
+	if stats.Get(metrics.WALCheckpoints) != 1 {
+		t.Fatal("checkpoint counter not bumped")
+	}
+
+	_, rec := openMem(t, faultfs.FromSnapshot(fs.Snapshot()), Options{})
+	if !rec.Existed || string(rec.Checkpoint) != "#relation Emp name\n1\ty:a\n" {
+		t.Fatalf("checkpoint not recovered: %q", rec.Checkpoint)
+	}
+	if len(rec.Txns) != 1 || rec.Txns[0].Key != "C" {
+		t.Fatalf("log tail after checkpoint: %+v", rec.Txns)
+	}
+}
+
+func TestCheckpointDue(t *testing.T) {
+	l, _ := openMem(t, faultfs.New(), Options{CheckpointEvery: 2})
+	defer l.Close()
+	l.AppendTxn("A", nil)
+	if l.CheckpointDue() {
+		t.Fatal("due after 1 of 2")
+	}
+	l.AppendTxn("B", nil)
+	if !l.CheckpointDue() {
+		t.Fatal("not due after 2 of 2")
+	}
+	if err := l.Checkpoint(dumpConst("")); err != nil {
+		t.Fatal(err)
+	}
+	if l.CheckpointDue() {
+		t.Fatal("still due after checkpoint")
+	}
+}
+
+// TestCheckpointCrashWindows drives a crash at every write boundary of
+// the checkpoint protocol and asserts each surviving state recovers to
+// either the pre-checkpoint state (old log intact) or the
+// post-checkpoint state (snapshot + empty log) — never a mixture.
+func TestCheckpointCrashWindows(t *testing.T) {
+	// The checkpoint issues: (1) ckpt header line, (2) dump content,
+	// (3) fresh log header. Crash at each.
+	for crashAt := 1; crashAt <= 3; crashAt++ {
+		t.Run(fmt.Sprintf("write%d", crashAt), func(t *testing.T) {
+			fs := faultfs.New()
+			l, _ := openMem(t, fs, Options{})
+			l.AppendTxn("A", nil)
+			l.AppendTxn("B", nil)
+			fs.FailWrite(crashAt, 0, true)
+			if err := l.Checkpoint(dumpConst("SNAPSHOT\n")); err == nil {
+				t.Fatal("checkpoint survived an injected crash")
+			}
+			_, rec := openMem(t, faultfs.FromSnapshot(fs.Snapshot()), Options{})
+			switch {
+			case crashAt <= 2:
+				// Before the ckpt rename: old world intact.
+				if rec.Checkpoint != nil || len(rec.Txns) != 2 {
+					t.Fatalf("pre-rename crash: ckpt=%q txns=%+v", rec.Checkpoint, rec.Txns)
+				}
+			default:
+				// After the rename, before the log reset: the stale log's
+				// units are inside the snapshot; they must not replay again.
+				if string(rec.Checkpoint) != "SNAPSHOT\n" || len(rec.Txns) != 0 {
+					t.Fatalf("post-rename crash: ckpt=%q txns=%+v", rec.Checkpoint, rec.Txns)
+				}
+			}
+		})
+	}
+}
+
+func TestScanLogPrefixes(t *testing.T) {
+	fs := faultfs.New()
+	l, _ := openMem(t, fs, Options{})
+	l.AppendTxn("A", sampleOps())
+	l.AppendBatch(sampleOps())
+	l.AppendTxn("B", nil)
+	l.Close()
+	data := fs.Snapshot()[testPath]
+	_, full, bounds, torn := ScanLog(data)
+	if torn || len(full) != 3 {
+		t.Fatalf("full scan: torn=%v units=%d", torn, len(full))
+	}
+	// Committed-unit count must be monotone over record-boundary prefixes,
+	// and every byte-level prefix must parse without panicking.
+	prev := 0
+	for _, b := range bounds {
+		_, units, _, _ := ScanLog(data[:b])
+		if len(units) < prev {
+			t.Fatalf("units decreased at boundary %d", b)
+		}
+		prev = len(units)
+	}
+	for n := 0; n <= len(data); n++ {
+		ScanLog(data[:n])
+	}
+}
+
+func TestTxnIDsContinueAcrossReopen(t *testing.T) {
+	fs := faultfs.New()
+	l, _ := openMem(t, fs, Options{})
+	l.AppendTxn("A", nil)
+	l.AppendTxn("B", nil)
+	l.Close()
+	l2, _ := openMem(t, fs, Options{})
+	defer l2.Close()
+	if l2.nextTxn != 2 {
+		t.Fatalf("nextTxn after reopen = %d, want 2", l2.nextTxn)
+	}
+	if err := l2.AppendTxn("C", nil); err != nil {
+		t.Fatal(err)
+	}
+	_, units, _, _ := ScanLog(fs.Snapshot()[testPath])
+	if len(units) != 3 {
+		t.Fatalf("units after reopen append = %d", len(units))
+	}
+}
+
+func TestBadHeaderIsReset(t *testing.T) {
+	fs := faultfs.New()
+	fs.Create(testPath) // empty file: header torn
+	l, rec := openMem(t, fs, Options{})
+	defer l.Close()
+	if !rec.Existed || !rec.TornTail || len(rec.Txns) != 0 {
+		t.Fatalf("empty file: existed=%v torn=%v", rec.Existed, rec.TornTail)
+	}
+	if err := l.AppendTxn("A", nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -118,15 +118,30 @@ type BatchStats struct {
 	Propagations int64 // per-(class,direction) maintenance passes
 }
 
+// DurabilityStats counts write-ahead-log and recovery operations.
+type DurabilityStats struct {
+	TxnRetries     int64 // deadlock victims retried with backoff
+	WALAppends     int64 // committed units (txns + batches) logged
+	WALRecords     int64 // individual records written
+	WALBytes       int64 // bytes appended to the log
+	WALSyncs       int64 // fsyncs issued by the sync policy
+	WALCheckpoints int64 // checkpoint compactions completed
+	RecoveryTxns   int64 // committed units replayed at Load
+	RecoveryOps    int64 // WM operations replayed at Load
+	RecoveryTuples int64 // checkpoint tuples restored at Load
+	RecoveryNanos  int64 // wall time spent in recovery replay
+}
+
 // Snapshot is a typed, immutable copy of the system's operation
 // counters, grouped by subsystem. Counters holds every raw counter by
 // name, including any not covered by the typed sections.
 type Snapshot struct {
-	Storage   StorageStats
-	Match     MatchStats
-	Execution ExecutionStats
-	Batch     BatchStats
-	Counters  map[string]int64
+	Storage    StorageStats
+	Match      MatchStats
+	Execution  ExecutionStats
+	Batch      BatchStats
+	Durability DurabilityStats
+	Counters   map[string]int64
 }
 
 // Metrics snapshots the operation counters accumulated so far.
@@ -179,6 +194,18 @@ func newSnapshot(m map[string]int64) Snapshot {
 			Deltas:       m["batch_deltas"],
 			Tuples:       m["batch_tuples"],
 			Propagations: m["batch_propagations"],
+		},
+		Durability: DurabilityStats{
+			TxnRetries:     m["txn_retries"],
+			WALAppends:     m["wal_appends"],
+			WALRecords:     m["wal_records"],
+			WALBytes:       m["wal_bytes"],
+			WALSyncs:       m["wal_syncs"],
+			WALCheckpoints: m["wal_checkpoints"],
+			RecoveryTxns:   m["recovery_txns"],
+			RecoveryOps:    m["recovery_ops"],
+			RecoveryTuples: m["recovery_tuples"],
+			RecoveryNanos:  m["recovery_ns"],
 		},
 		Counters: m,
 	}

@@ -40,10 +40,12 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"prodsys/internal/conflict"
 	"prodsys/internal/core"
 	"prodsys/internal/engine"
+	"prodsys/internal/fsx"
 	"prodsys/internal/lang"
 	"prodsys/internal/marker"
 	"prodsys/internal/match"
@@ -57,6 +59,7 @@ import (
 	"prodsys/internal/trace"
 	"prodsys/internal/value"
 	"prodsys/internal/view"
+	"prodsys/internal/wal"
 )
 
 // Matcher selects the matching algorithm.
@@ -133,6 +136,26 @@ type Options struct {
 	// SetAtATime fires every eligible instantiation of the selected rule
 	// per cycle (the set-oriented execution of §5.1).
 	SetAtATime bool
+
+	// WALPath enables crash-safe durability: every committed unit (rule
+	// firing, batch, Assert/Retract) is appended to the write-ahead log
+	// at this path at its commit point. If the path already holds state
+	// from an earlier run, Load recovers it — checkpoint plus committed
+	// log tail, replayed through match maintenance — and the program's
+	// initial facts are NOT re-loaded. Empty disables durability.
+	WALPath string
+	// WALSync selects the log's sync policy; default WALSyncAlways.
+	WALSync WALSyncMode
+	// WALSyncEvery is the WALSyncInterval period; default 100ms.
+	WALSyncEvery time.Duration
+	// WALCheckpointEvery compacts the log (checkpoint snapshot + fresh
+	// log) after that many committed units; 0 means only explicit
+	// System.Checkpoint calls compact.
+	WALCheckpointEvery int
+	// WALFS substitutes the filesystem under the log — the
+	// fault-injection hook used by the crash-recovery tests. nil means
+	// the real filesystem.
+	WALFS fsx.FS
 }
 
 // Result summarizes a run.
@@ -161,6 +184,9 @@ type System struct {
 	quelIn  *quel.Interp
 	out     io.Writer
 	tracer  *trace.Tracer
+
+	wal      *wal.Log      // non-nil while durability is active
+	recovery *RecoveryInfo // what Load recovered; nil without a WAL
 }
 
 // Load parses, compiles and initializes a production system from OPS5
@@ -227,8 +253,17 @@ func Load(src string, opts Options) (*System, error) {
 		SetAtATime:  opts.SetAtATime,
 		Tracer:      tr,
 	})
-	if err := sys.eng.LoadFacts(prog); err != nil {
+	if err := sys.openWAL(opts); err != nil {
 		return nil, err
+	}
+	if sys.recovery == nil || !sys.recovery.Recovered {
+		// Fresh start: load the program's initial facts. With a WAL
+		// attached each fact is logged, so the next open recovers them
+		// instead of re-reading the program.
+		if err := sys.eng.LoadFacts(prog); err != nil {
+			sys.Close()
+			return nil, err
+		}
 	}
 	return sys, nil
 }
@@ -605,21 +640,21 @@ func (s *System) RegisterFunc(name string, fn func(args []string) error) {
 // format (tuple IDs included); the persistence of §3.2.
 func (s *System) SaveWM(w io.Writer) error { return s.db.Dump(w) }
 
-// SaveWMFile is SaveWM writing to a file.
+// SaveWMFile is SaveWM writing to a file. The dump lands atomically —
+// written to a temp sibling, fsynced, then renamed into place — so a
+// crash mid-save never leaves a truncated dump where a complete one
+// (or nothing) used to be.
 func (s *System) SaveWMFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return s.db.Dump(f)
+	return fsx.WriteAtomic(fsx.OS{}, path, s.db.Dump)
 }
 
 // RestoreWM loads a working-memory dump into this system, preserving
 // tuple IDs, and replays the match maintenance so the conflict set
-// reflects the restored contents. The system's WM should be empty and the
-// dump must have been produced by a system with the same class
-// declarations.
+// reflects the restored contents. The whole dump is validated before
+// anything is applied: on error the working memory is untouched. The
+// system's WM should be empty and the dump must have been produced by a
+// system with the same class declarations. With a WAL attached, the
+// restored tuples are logged as one batch so they survive a restart.
 func (s *System) RestoreWM(r io.Reader) error {
 	restored, err := s.db.Restore(r)
 	if err != nil {
@@ -630,7 +665,7 @@ func (s *System) RestoreWM(r io.Reader) error {
 			return err
 		}
 	}
-	return nil
+	return s.eng.LogRestored(restored)
 }
 
 // RestoreWMFile is RestoreWM reading from a file.
