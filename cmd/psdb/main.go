@@ -17,6 +17,12 @@
 // anything else happens), -wal-sync picks the sync policy,
 // -checkpoint-every compacts the log periodically, and -run=false
 // recovers and prints without firing any rules.
+//
+// Robustness flags: -audit runs a full integrity audit after the run
+// and exits non-zero on divergence (-audit-repair also rebuilds the
+// divergent state), -corrupt injects seeded corruption into the
+// matcher's derived state beforehand (for demos and drills), and
+// -txn-timeout arms the per-transaction watchdog for concurrent runs.
 package main
 
 import (
@@ -49,6 +55,10 @@ func main() {
 	walSyncEvery := flag.Duration("wal-sync-interval", 100*time.Millisecond, "sync period for -wal-sync=interval")
 	ckptEvery := flag.Int("checkpoint-every", 0, "compact the WAL after this many committed units (0 = never)")
 	doRun := flag.Bool("run", true, "fire rules; -run=false only loads (and recovers) then prints")
+	doAudit := flag.Bool("audit", false, "run a full integrity audit after the run; exit 1 on divergence")
+	auditRepair := flag.Bool("audit-repair", false, "with -audit: rebuild divergent derived state from WM")
+	corruptSeed := flag.Int64("corrupt", 0, "inject seeded corruption into the matcher's derived state before the audit (0 = none)")
+	txnTimeout := flag.Duration("txn-timeout", 0, "per-transaction watchdog: abort and retry firings whose lock waits exceed this (0 = no watchdog)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -68,6 +78,7 @@ func main() {
 		WALSync:            prodsys.WALSyncMode(*walSync),
 		WALSyncEvery:       *walSyncEvery,
 		WALCheckpointEvery: *ckptEvery,
+		TxnTimeout:         *txnTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psdb:", err)
@@ -120,6 +131,44 @@ func main() {
 		fmt.Println()
 	}
 
+	auditFailed := false
+	if *corruptSeed != 0 {
+		if desc := sys.InjectCorruption(*corruptSeed); desc != "" {
+			fmt.Println("; injected corruption:", desc)
+		} else {
+			fmt.Println("; corruption injection found nothing to corrupt")
+		}
+	}
+	if *doAudit {
+		rep, err := sys.Audit(prodsys.AuditOptions{Repair: *auditRepair})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psdb:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("; audit (%s): %d rules checked, %d divergences\n",
+			rep.Matcher, rep.RulesChecked, len(rep.Divergences))
+		for _, d := range rep.Divergences {
+			fmt.Println(";   divergence:", d.String())
+		}
+		if !rep.Clean() {
+			auditFailed = true
+			if *auditRepair {
+				fmt.Printf("; repaired %d divergences (matcher rebuilt: %v)\n", rep.Repaired, rep.Rebuilt)
+				again, err := sys.Audit(prodsys.AuditOptions{})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "psdb:", err)
+					os.Exit(1)
+				}
+				if again.Clean() {
+					fmt.Println("; re-audit clean")
+					auditFailed = false
+				} else {
+					fmt.Printf("; re-audit still divergent: %d divergences\n", len(again.Divergences))
+				}
+			}
+		}
+	}
+
 	if *showWM {
 		fmt.Println("; final working memory:")
 		fmt.Println(sys.WM())
@@ -165,5 +214,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "psdb:", err)
 			os.Exit(1)
 		}
+	}
+	if auditFailed {
+		sys.Close()
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,232 @@
+package prodsys
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prodsys/internal/relation"
+	"prodsys/internal/workload"
+)
+
+// applyWorkload drives a stream of workload operations through the
+// engine, resolving each delete against a live tuple of its class the
+// way the experiment harness does.
+func applyWorkload(t *testing.T, sys *System, ops []workload.Op) {
+	t.Helper()
+	live := map[string][]relation.TupleID{}
+	for _, op := range ops {
+		if op.Delete {
+			ids := live[op.Class]
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[len(ids)-1]
+			live[op.Class] = ids[:len(ids)-1]
+			if err := sys.eng.Retract(op.Class, id); err != nil {
+				t.Fatalf("retract %s %d: %v", op.Class, id, err)
+			}
+			continue
+		}
+		id, err := sys.eng.Assert(op.Class, op.Tuple)
+		if err != nil {
+			t.Fatalf("assert %s: %v", op.Class, err)
+		}
+		live[op.Class] = append(live[op.Class], id)
+	}
+}
+
+// auditSystem builds a system on the payroll workload with derived state
+// worth auditing: a populated WM and an unfired conflict set.
+func auditSystem(t *testing.T, m Matcher, rules int, seed int64) *System {
+	t.Helper()
+	sys, err := Load(workload.PayrollRules(rules, false), Options{Matcher: m, Out: discard{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyWorkload(t, sys, workload.PayrollOps(seed, 250, 0.25))
+	return sys
+}
+
+// TestAuditCleanAfterWorkload uses the auditor as an oracle: after a
+// randomized insert/delete workload (and a consuming run exercising
+// refraction), every matcher's derived state must agree with the ground
+// truth recomputed from working memory.
+func TestAuditCleanAfterWorkload(t *testing.T) {
+	for _, m := range Matchers() {
+		t.Run(string(m), func(t *testing.T) {
+			sys, err := Load(workload.PayrollRules(8, true), Options{Matcher: m, Out: discard{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyWorkload(t, sys, workload.PayrollOps(11, 250, 0.25))
+			if _, err := sys.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			applyWorkload(t, sys, workload.PayrollOps(13, 100, 0.4))
+			rep, err := sys.Audit(AuditOptions{})
+			if err != nil {
+				t.Fatalf("audit: %v", err)
+			}
+			if !rep.Clean() {
+				var lines []string
+				for _, d := range rep.Divergences {
+					lines = append(lines, d.String())
+				}
+				t.Fatalf("audit found %d divergences:\n%s", len(rep.Divergences), strings.Join(lines, "\n"))
+			}
+			if rep.Sampled || rep.RulesChecked != 8 {
+				t.Fatalf("full audit: sampled=%v rules=%d, want full over 8", rep.Sampled, rep.RulesChecked)
+			}
+			if sys.Metrics().Integrity.AuditRuns != 1 {
+				t.Fatalf("audit_runs = %d, want 1", sys.Metrics().Integrity.AuditRuns)
+			}
+		})
+	}
+}
+
+// TestAuditDetectsAndRepairsCorruption seeds corruption into each
+// matcher's derived state and requires 100% detection, successful
+// repair, and a clean immediate re-audit.
+func TestAuditDetectsAndRepairsCorruption(t *testing.T) {
+	for _, m := range Matchers() {
+		for seed := int64(1); seed <= 5; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", m, seed), func(t *testing.T) {
+				sys := auditSystem(t, m, 6, seed)
+				desc := sys.InjectCorruption(seed)
+				if desc == "" {
+					t.Fatal("InjectCorruption found nothing to corrupt")
+				}
+				rep, err := sys.Audit(AuditOptions{Repair: true})
+				if err != nil {
+					t.Fatalf("audit: %v", err)
+				}
+				if rep.Clean() {
+					t.Fatalf("audit missed seeded corruption: %s", desc)
+				}
+				if rep.Repaired == 0 {
+					t.Fatalf("audit repaired nothing for: %s", desc)
+				}
+				again, err := sys.Audit(AuditOptions{})
+				if err != nil {
+					t.Fatalf("re-audit: %v", err)
+				}
+				if !again.Clean() {
+					var lines []string
+					for _, d := range again.Divergences {
+						lines = append(lines, d.String())
+					}
+					t.Fatalf("re-audit after repair still divergent (%s):\n%s", desc, strings.Join(lines, "\n"))
+				}
+				st := sys.Metrics().Integrity
+				if st.AuditDivergences == 0 || st.AuditRepairs == 0 {
+					t.Fatalf("integrity counters: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestAuditSampledMode checks the budgeted online mode: each run audits
+// at most MaxRules rules and successive runs rotate through the set.
+func TestAuditSampledMode(t *testing.T) {
+	sys := auditSystem(t, MatcherRete, 6, 7)
+	for run := 0; run < 3; run++ {
+		rep, err := sys.Audit(AuditOptions{MaxRules: 2})
+		if err != nil {
+			t.Fatalf("sampled audit %d: %v", run, err)
+		}
+		if !rep.Sampled || rep.RulesChecked != 2 {
+			t.Fatalf("sampled audit %d: sampled=%v rules=%d, want 2-rule window", run, rep.Sampled, rep.RulesChecked)
+		}
+		if !rep.Clean() {
+			t.Fatalf("sampled audit %d divergent: %v", run, rep.Divergences)
+		}
+	}
+	// A full audit is not sampled.
+	rep, err := sys.Audit(AuditOptions{})
+	if err != nil || rep.Sampled || rep.RulesChecked != 6 {
+		t.Fatalf("full audit after sampling: %+v, %v", rep, err)
+	}
+}
+
+// TestSampledAuditStillDetects: the rotating window eventually reaches a
+// corrupted rule even when each run checks a single rule.
+func TestSampledAuditStillDetects(t *testing.T) {
+	sys := auditSystem(t, MatcherCore, 4, 3)
+	if desc := sys.InjectCorruption(3); desc == "" {
+		t.Fatal("nothing to corrupt")
+	}
+	found := false
+	for run := 0; run < 4; run++ {
+		rep, err := sys.Audit(AuditOptions{MaxRules: 1, Repair: true})
+		if err != nil {
+			t.Fatalf("sampled audit %d: %v", run, err)
+		}
+		if !rep.Clean() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("four 1-rule sampled audits over 4 rules never saw the corruption")
+	}
+}
+
+const panicWALSrc = `
+(literalize A v)
+(literalize B v)
+
+(p boom
+    (A ^v <x>)
+  -->
+    (make B ^v <x>)
+    (call explode))
+
+(A 1)
+`
+
+// TestPanickedFiringNeverCommitsToWAL: a firing whose RHS panics is
+// contained and rolled back, and the write-ahead log records no commit —
+// recovery reproduces only the pre-panic state.
+func TestPanickedFiringNeverCommitsToWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wm.wal")
+	sys, err := Load(panicWALSrc, Options{Matcher: MatcherRete, WALPath: path, Out: discard{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RegisterFunc("explode", func([]string) error { panic("injected RHS panic") })
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Panics != 1 || res.Firings != 0 {
+		t.Fatalf("result = %+v, want 1 contained panic and 0 firings", res)
+	}
+	if sys.Metrics().Integrity.PanicsContained != 1 {
+		t.Fatalf("panics_contained = %d, want 1", sys.Metrics().Integrity.PanicsContained)
+	}
+	// The rolled-back make is gone; the engine keeps serving.
+	if n := len(sys.WMClass("B")); n != 0 {
+		t.Fatalf("%d B tuples after contained panic, want 0", n)
+	}
+	if _, err := sys.Assert("A", 2); err != nil {
+		t.Fatalf("post-panic assert: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := Load(panicWALSrc, Options{Matcher: MatcherRete, WALPath: path, Out: discard{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if n := len(sys2.WMClass("B")); n != 0 {
+		t.Fatalf("recovery produced %d B tuples from an uncommitted firing, want 0", n)
+	}
+	if n := len(sys2.WMClass("A")); n != 2 {
+		t.Fatalf("recovered %d A tuples, want 2", n)
+	}
+}

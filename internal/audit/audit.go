@@ -1,0 +1,356 @@
+// Package audit implements online integrity auditing for the matchers:
+// the ground truth of every derived structure — conflict-set
+// instantiations, COND-relation Mark counters, Rete beta memories, rule
+// markers, condition indexes — is recomputed from the base WM relations
+// (reusing the simplified algorithm's joins, §4.1) and diffed against the
+// matcher's incrementally maintained state. Divergences are reported as
+// typed records and, on request, repaired by rebuilding the affected
+// rules' derived state from working memory.
+//
+// The auditor runs online between firings: the engine exposes its
+// maintenance lock, so an audit sees a quiescent, transaction-consistent
+// snapshot. A full audit checks every rule; the sampled mode checks a
+// budgeted, rotating window of rules per run, amortizing the cost of
+// continuous auditing across many runs.
+package audit
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"prodsys/internal/conflict"
+	"prodsys/internal/joiner"
+	"prodsys/internal/match"
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+	"prodsys/internal/rules"
+	"prodsys/internal/trace"
+)
+
+// Divergence classes: which derived structure disagrees with the ground
+// truth recomputed from working memory.
+const (
+	// DivConflictMissing: a satisfied, unfired instantiation is absent
+	// from the conflict set.
+	DivConflictMissing = "conflict-missing"
+	// DivConflictPhantom: the conflict set holds an instantiation the WM
+	// no longer supports.
+	DivConflictPhantom = "conflict-phantom"
+	// DivMarkCounter: a matching pattern's per-RCE support (the Mark
+	// counter of §4.2.2) disagrees with the supporting tuples in WM.
+	DivMarkCounter = "mark-counter"
+	// DivPatternMissing: a matching pattern the WM implies is absent from
+	// its COND relation.
+	DivPatternMissing = "pattern-missing"
+	// DivPatternPhantom: a COND relation holds a matching pattern with no
+	// supporting WM tuples.
+	DivPatternPhantom = "pattern-phantom"
+	// DivTokenMissing: a partial match implied by the WM is absent from a
+	// Rete beta memory, negative node, or production node.
+	DivTokenMissing = "token-missing"
+	// DivTokenPhantom: a Rete token store holds a partial match the WM no
+	// longer supports.
+	DivTokenPhantom = "token-phantom"
+	// DivAlphaMissing / DivAlphaPhantom: a Rete alpha memory disagrees
+	// with the WM tuples passing its variable-free tests.
+	DivAlphaMissing = "alpha-missing"
+	DivAlphaPhantom = "alpha-phantom"
+	// DivMarkMissing: a Basic Locking tuple marker required by a live
+	// instantiation is gone (a future update would be silently dropped).
+	DivMarkMissing = "marker-missing"
+	// DivIndexMissing / DivIndexPhantom: the predicate index disagrees
+	// with the rule set's condition elements.
+	DivIndexMissing = "index-missing"
+	DivIndexPhantom = "index-phantom"
+)
+
+// Divergence is one disagreement between a matcher's derived state and
+// the ground truth recomputed from the base WM relations.
+type Divergence struct {
+	// Class is one of the Div* constants.
+	Class string
+	// Rule names the affected rule; empty when the divergence is not
+	// attributable to one rule (shared alpha memories), which forces a
+	// full rebuild on repair.
+	Rule string
+	// CE is the condition element index, -1 when rule- or set-level.
+	CE int
+	// Key identifies the diverging entry (instantiation key, pattern key,
+	// token signature, tuple reference).
+	Key string
+	// Expected and Actual describe both sides of the disagreement.
+	Expected string
+	Actual   string
+}
+
+// String renders the divergence for traces and error output.
+func (d Divergence) String() string {
+	where := d.Rule
+	if where == "" {
+		where = "-"
+	}
+	return fmt.Sprintf("%s %s %s: expected %s, actual %s", d.Class, where, d.Key, d.Expected, d.Actual)
+}
+
+// Report is the outcome of one audit run.
+type Report struct {
+	// Matcher names the audited matching algorithm.
+	Matcher string
+	// RulesChecked counts the rules whose derived state was verified.
+	RulesChecked int
+	// Sampled reports whether this run checked a budgeted window of rules
+	// rather than all of them.
+	Sampled bool
+	// Divergences lists every disagreement found, deterministically
+	// ordered.
+	Divergences []Divergence
+	// Repaired counts divergences addressed by the repair pass.
+	Repaired int
+	// Rebuilt reports whether the repair rebuilt matcher derived state.
+	Rebuilt bool
+}
+
+// Clean reports whether the audit found no divergence.
+func (r *Report) Clean() bool { return len(r.Divergences) == 0 }
+
+// DerivedAuditor is implemented by matchers with derived state beyond
+// the conflict set. AuditDerived recomputes that state's ground truth
+// from the WM relations in db and emits one Divergence per
+// disagreement. only, when non-nil, restricts the audit to the named
+// rules (the sampled mode); nil means audit everything.
+type DerivedAuditor interface {
+	AuditDerived(db *relation.DB, only map[string]bool, emit func(Divergence))
+}
+
+// DerivedRebuilder is implemented by matchers that can rebuild their
+// derived state from the WM relations. only, when non-nil, limits the
+// rebuild to the named rules' state; nil demands a full rebuild.
+// Matchers whose internal sharing makes per-rule surgery unsafe may
+// always rebuild fully.
+type DerivedRebuilder interface {
+	RebuildRules(db *relation.DB, only map[string]bool) error
+}
+
+// Corrupter is implemented by matchers that can deliberately corrupt
+// their own derived state — the fault-injection hook the detection
+// tests drive. It returns a description of the corruption, or "" when
+// there is nothing to corrupt.
+type Corrupter interface {
+	CorruptDerived(rng *rand.Rand) string
+}
+
+// Options tunes one audit run.
+type Options struct {
+	// MaxRules, when positive and smaller than the rule count, switches
+	// to sampled mode: each run checks at most this many rules, rotating
+	// through the rule set across runs.
+	MaxRules int
+	// Repair rebuilds the affected derived state when divergences are
+	// found, so an immediate re-audit comes back clean.
+	Repair bool
+}
+
+// Auditor recomputes matcher ground truth from working memory. It keeps
+// the rotating cursor of the sampled mode, so reuse one Auditor across
+// runs. Not safe for concurrent use; run it under the engine's
+// maintenance lock.
+type Auditor struct {
+	set    *rules.Set
+	db     *relation.DB
+	m      match.Matcher
+	stats  *metrics.Set
+	tr     *trace.Tracer
+	cursor int
+}
+
+// New builds an auditor over the matcher's rule set and WM catalog.
+// stats may be nil.
+func New(set *rules.Set, db *relation.DB, m match.Matcher, stats *metrics.Set) *Auditor {
+	return &Auditor{set: set, db: db, m: m, stats: stats}
+}
+
+// SetTracer wires the execution tracer; audit runs, divergences, and
+// repairs are emitted as events. A nil tracer disables emission.
+func (a *Auditor) SetTracer(tr *trace.Tracer) { a.tr = tr }
+
+// Run performs one audit: conflict-set ground truth for the selected
+// rules, then the matcher's own derived state via DerivedAuditor. With
+// opts.Repair, divergent rules' derived state is rebuilt from WM and
+// the conflict set reconciled. The returned report is always non-nil;
+// the error reports a failed rebuild.
+func (a *Auditor) Run(opts Options) (*Report, error) {
+	all := a.set.Rules
+	selected := all
+	rep := &Report{Matcher: a.m.Name()}
+	var only map[string]bool
+	if opts.MaxRules > 0 && opts.MaxRules < len(all) {
+		rep.Sampled = true
+		selected = make([]*rules.Rule, 0, opts.MaxRules)
+		only = make(map[string]bool, opts.MaxRules)
+		for i := 0; i < opts.MaxRules; i++ {
+			r := all[(a.cursor+i)%len(all)]
+			if only[r.Name] {
+				continue
+			}
+			only[r.Name] = true
+			selected = append(selected, r)
+		}
+		a.cursor = (a.cursor + opts.MaxRules) % len(all)
+	}
+	rep.RulesChecked = len(selected)
+	emit := func(d Divergence) { rep.Divergences = append(rep.Divergences, d) }
+
+	t0 := a.tr.Now()
+	a.auditConflictSet(selected, emit)
+	if da, ok := a.m.(DerivedAuditor); ok {
+		da.AuditDerived(a.db, only, emit)
+	}
+	sort.Slice(rep.Divergences, func(i, j int) bool {
+		di, dj := rep.Divergences[i], rep.Divergences[j]
+		if di.Class != dj.Class {
+			return di.Class < dj.Class
+		}
+		if di.Rule != dj.Rule {
+			return di.Rule < dj.Rule
+		}
+		return di.Key < dj.Key
+	})
+
+	a.stats.Inc(metrics.AuditRuns)
+	a.stats.Add(metrics.AuditRulesChecked, int64(len(selected)))
+	a.stats.Add(metrics.AuditDivergences, int64(len(rep.Divergences)))
+	if a.tr.Enabled() {
+		a.tr.Emit(trace.Event{
+			Kind: trace.KindAuditRun, At: t0, Dur: a.tr.Now() - t0,
+			CE: -1, Count: int64(len(rep.Divergences)), Extra: rep.Matcher,
+		})
+		for _, d := range rep.Divergences {
+			a.tr.Emit(trace.Event{
+				Kind: trace.KindAuditDivergence, At: a.tr.Now(),
+				Rule: d.Rule, CE: d.CE, Extra: d.String(),
+			})
+		}
+	}
+
+	if !opts.Repair || rep.Clean() {
+		return rep, nil
+	}
+	if err := a.repair(rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// auditConflictSet diffs the conflict set's unfired instantiations
+// against the full LHS joins of the selected rules, honoring refraction
+// (fired keys are expected to be absent).
+func (a *Auditor) auditConflictSet(selected []*rules.Rule, emit func(Divergence)) {
+	cs := a.m.ConflictSet()
+	sel := make(map[string]bool, len(selected))
+	for _, r := range selected {
+		sel[r.Name] = true
+	}
+	actual := map[string]map[string]bool{}
+	for _, in := range cs.SelectAll() {
+		if !sel[in.Rule.Name] {
+			continue
+		}
+		set := actual[in.Rule.Name]
+		if set == nil {
+			set = map[string]bool{}
+			actual[in.Rule.Name] = set
+		}
+		set[in.Key()] = true
+	}
+	for _, r := range selected {
+		expected := map[string]bool{}
+		joiner.Enumerate(a.db, r, nil, nil, a.stats, func(ids []relation.TupleID, _ []relation.Tuple, _ rules.Bindings) {
+			in := conflict.Instantiation{Rule: r, TupleIDs: ids}
+			if key := in.Key(); !cs.HasFired(key) {
+				expected[key] = true
+			}
+		})
+		act := actual[r.Name]
+		for k := range expected {
+			if !act[k] {
+				emit(Divergence{Class: DivConflictMissing, Rule: r.Name, CE: -1, Key: k,
+					Expected: "instantiation in conflict set", Actual: "absent"})
+			}
+		}
+		for k := range act {
+			if !expected[k] {
+				emit(Divergence{Class: DivConflictPhantom, Rule: r.Name, CE: -1, Key: k,
+					Expected: "absent", Actual: "instantiation in conflict set"})
+			}
+		}
+	}
+}
+
+// repair rebuilds the divergent rules' derived state from WM (falling
+// back to a full matcher rebuild when a divergence is not attributable
+// to one rule) and reconciles the conflict set against the ground
+// truth, so an immediate re-audit is clean.
+func (a *Auditor) repair(rep *Report) error {
+	affected := map[string]bool{}
+	ruleLevel := true
+	for _, d := range rep.Divergences {
+		if d.Rule == "" {
+			ruleLevel = false
+			continue
+		}
+		affected[d.Rule] = true
+	}
+	t0 := a.tr.Now()
+	if rb, ok := a.m.(DerivedRebuilder); ok {
+		sel := affected
+		if !ruleLevel {
+			sel = nil // unattributable divergence: rebuild everything
+		}
+		if err := rb.RebuildRules(a.db, sel); err != nil {
+			return fmt.Errorf("audit: rebuild: %w", err)
+		}
+		rep.Rebuilt = true
+	}
+
+	// Reconcile the conflict set: phantoms out, missing instantiations in.
+	cs := a.m.ConflictSet()
+	var recon map[string]bool
+	if ruleLevel {
+		recon = affected
+	}
+	for _, r := range a.set.Rules {
+		if recon != nil && !recon[r.Name] {
+			continue
+		}
+		expected := map[string]*conflict.Instantiation{}
+		joiner.Enumerate(a.db, r, nil, nil, a.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+			in := &conflict.Instantiation{Rule: r, TupleIDs: ids, Tuples: tuples, Bindings: b}
+			if !cs.HasFired(in.Key()) {
+				expected[in.Key()] = in
+			}
+		})
+		name := r.Name
+		cs.RemoveWhere(func(in *conflict.Instantiation) bool {
+			return in.Rule.Name == name && expected[in.Key()] == nil
+		})
+		keys := make([]string, 0, len(expected))
+		for k := range expected {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic Seq assignment for the additions
+		for _, k := range keys {
+			cs.Add(expected[k])
+		}
+	}
+
+	rep.Repaired = len(rep.Divergences)
+	a.stats.Add(metrics.AuditRepairs, int64(rep.Repaired))
+	if a.tr.Enabled() {
+		a.tr.Emit(trace.Event{
+			Kind: trace.KindRepair, At: t0, Dur: a.tr.Now() - t0,
+			CE: -1, Count: int64(rep.Repaired), Extra: rep.Matcher,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package audit_test
+
+import (
+	"strings"
+	"testing"
+
+	"prodsys/internal/audit"
+	"prodsys/internal/conflict"
+	"prodsys/internal/core"
+	"prodsys/internal/match"
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+	"prodsys/internal/rete"
+	"prodsys/internal/rules"
+	"prodsys/internal/workload"
+)
+
+// buildMatcher compiles the payroll rule set and returns the stack the
+// auditor needs, with the matcher chosen by the constructor.
+func buildMatcher(t *testing.T, mk func(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set) match.Matcher) (*rules.Set, *relation.DB, match.Matcher, *metrics.Set) {
+	t.Helper()
+	set, _, err := rules.CompileSource(workload.PayrollRules(6, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &metrics.Set{}
+	db := relation.NewDB(stats)
+	if err := rules.BuildDB(set, db); err != nil {
+		t.Fatal(err)
+	}
+	return set, db, mk(set, db, conflict.NewSet(stats), stats), stats
+}
+
+// runWorkload streams ops through the relations and the (wrapped)
+// matcher's maintenance, resolving deletes against live tuples.
+func runWorkload(t *testing.T, db *relation.DB, m match.Matcher, ops []workload.Op) {
+	t.Helper()
+	live := map[string][]relation.TupleID{}
+	for _, op := range ops {
+		rel := db.MustGet(op.Class)
+		if op.Delete {
+			ids := live[op.Class]
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[len(ids)-1]
+			live[op.Class] = ids[:len(ids)-1]
+			tup, err := rel.Delete(id)
+			if err != nil {
+				t.Fatalf("delete %s %d: %v", op.Class, id, err)
+			}
+			if err := m.Delete(op.Class, id, tup); err != nil {
+				t.Fatalf("matcher delete: %v", err)
+			}
+			continue
+		}
+		id, err := rel.Insert(op.Tuple)
+		if err != nil {
+			t.Fatalf("insert %s: %v", op.Class, err)
+		}
+		stored, _ := rel.Get(id)
+		if err := m.Insert(op.Class, id, stored); err != nil {
+			t.Fatalf("matcher insert: %v", err)
+		}
+		live[op.Class] = append(live[op.Class], id)
+	}
+}
+
+// TestFaultInjectorMidWorkload drives the injection wrapper over the
+// matchers the issue singles out — COND Mark counters (core) and Rete
+// beta tokens — corrupting every 40th maintenance call mid-workload,
+// then requires the auditor to detect live damage and repair it so a
+// re-audit is clean.
+func TestFaultInjectorMidWorkload(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set) match.Matcher
+	}{
+		{"core", func(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set) match.Matcher {
+			return core.New(set, db, cs, stats)
+		}},
+		{"rete", func(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set) match.Matcher {
+			return rete.New(set, cs, stats)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set, db, inner, stats := buildMatcher(t, tc.mk)
+			fi := audit.NewFaultInjector(inner, 17, 40)
+			runWorkload(t, db, fi, workload.PayrollOps(23, 300, 0.25))
+			if len(fi.Injected()) == 0 {
+				t.Fatal("workload injected no corruption")
+			}
+			// Later maintenance can coincidentally overwrite earlier
+			// damage; one final on-demand corruption guarantees live
+			// damage for the detection assertion.
+			if desc := fi.Corrupt(); desc == "" {
+				t.Fatal("final corruption found nothing to corrupt")
+			}
+
+			aud := audit.New(set, db, fi, stats)
+			rep, err := aud.Run(audit.Options{Repair: true})
+			if err != nil {
+				t.Fatalf("audit: %v", err)
+			}
+			if rep.Clean() {
+				t.Fatalf("audit missed injected corruption: %v", fi.Injected())
+			}
+			if rep.Repaired == 0 {
+				t.Fatal("audit repaired nothing")
+			}
+			again, err := aud.Run(audit.Options{})
+			if err != nil {
+				t.Fatalf("re-audit: %v", err)
+			}
+			if !again.Clean() {
+				var lines []string
+				for _, d := range again.Divergences {
+					lines = append(lines, d.String())
+				}
+				t.Fatalf("re-audit after repair still divergent:\n%s", strings.Join(lines, "\n"))
+			}
+			if stats.Get(metrics.AuditDivergences) == 0 || stats.Get(metrics.AuditRepairs) == 0 {
+				t.Fatal("integrity counters not incremented")
+			}
+		})
+	}
+}
+
+// TestSampledCursorRotates: with MaxRules 2 over 6 rules, three
+// successive runs cover the whole set (the cursor wraps), and every run
+// reports the sampled flag with the window size.
+func TestSampledCursorRotates(t *testing.T) {
+	set, db, m, stats := buildMatcher(t, func(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set) match.Matcher {
+		return core.New(set, db, cs, stats)
+	})
+	runWorkload(t, db, m, workload.PayrollOps(5, 120, 0.2))
+	aud := audit.New(set, db, m, stats)
+	for run := 0; run < 3; run++ {
+		rep, err := aud.Run(audit.Options{MaxRules: 2})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if !rep.Sampled || rep.RulesChecked != 2 {
+			t.Fatalf("run %d: sampled=%v rules=%d", run, rep.Sampled, rep.RulesChecked)
+		}
+	}
+	if got := stats.Get(metrics.AuditRulesChecked); got != 6 {
+		t.Fatalf("audit_rules_checked = %d, want 6 after a full rotation", got)
+	}
+}

@@ -1,0 +1,156 @@
+package audit
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"prodsys/internal/conflict"
+	"prodsys/internal/match"
+	"prodsys/internal/relation"
+	"prodsys/internal/trace"
+)
+
+// FaultInjector wraps a matcher and corrupts its derived state — Mark
+// counters, beta tokens, markers, index entries, or conflict-set
+// instantiations — either on demand (Corrupt) or every EveryN forwarded
+// maintenance calls, simulating the silent state damage the auditor
+// exists to catch. It passes through the audit interfaces of the inner
+// matcher, so an Auditor over the wrapper audits the real state.
+type FaultInjector struct {
+	inner  match.Matcher
+	everyN int
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	calls    int
+	injected []string
+}
+
+// NewFaultInjector wraps inner. seed makes the corruption sequence
+// reproducible; everyN <= 0 disables automatic injection (Corrupt still
+// works on demand).
+func NewFaultInjector(inner match.Matcher, seed int64, everyN int) *FaultInjector {
+	return &FaultInjector{inner: inner, everyN: everyN, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name identifies the wrapped algorithm.
+func (f *FaultInjector) Name() string { return f.inner.Name() }
+
+// ConflictSet exposes the wrapped matcher's conflict set.
+func (f *FaultInjector) ConflictSet() *conflict.Set { return f.inner.ConflictSet() }
+
+// SetTracer forwards the tracer to the wrapped matcher.
+func (f *FaultInjector) SetTracer(tr *trace.Tracer) { match.AttachTracer(f.inner, tr) }
+
+// Insert forwards the insertion, then maybe injects a fault.
+func (f *FaultInjector) Insert(class string, id relation.TupleID, t relation.Tuple) error {
+	err := f.inner.Insert(class, id, t)
+	f.tick()
+	return err
+}
+
+// Delete forwards the deletion, then maybe injects a fault.
+func (f *FaultInjector) Delete(class string, id relation.TupleID, t relation.Tuple) error {
+	err := f.inner.Delete(class, id, t)
+	f.tick()
+	return err
+}
+
+// InsertBatch forwards through the inner matcher's native batch path
+// when it has one; the whole batch counts as one maintenance call.
+func (f *FaultInjector) InsertBatch(class string, entries []relation.DeltaEntry) error {
+	err := match.InsertBatch(f.inner, class, entries)
+	f.tick()
+	return err
+}
+
+// DeleteBatch mirrors InsertBatch for removals.
+func (f *FaultInjector) DeleteBatch(class string, entries []relation.DeltaEntry) error {
+	err := match.DeleteBatch(f.inner, class, entries)
+	f.tick()
+	return err
+}
+
+// AuditDerived forwards to the wrapped matcher's auditor hook.
+func (f *FaultInjector) AuditDerived(db *relation.DB, only map[string]bool, emit func(Divergence)) {
+	if da, ok := f.inner.(DerivedAuditor); ok {
+		da.AuditDerived(db, only, emit)
+	}
+}
+
+// RebuildRules forwards to the wrapped matcher's rebuild hook.
+func (f *FaultInjector) RebuildRules(db *relation.DB, only map[string]bool) error {
+	if rb, ok := f.inner.(DerivedRebuilder); ok {
+		return rb.RebuildRules(db, only)
+	}
+	return nil
+}
+
+// CorruptDerived corrupts the wrapped matcher's state with the caller's
+// rng (the Corrupter contract); the injector's own schedule uses Corrupt.
+func (f *FaultInjector) CorruptDerived(rng *rand.Rand) string {
+	return f.corruptWith(rng)
+}
+
+// Corrupt damages the wrapped matcher's derived state now, using the
+// injector's seeded rng, and returns a description of what was broken
+// ("" when there was nothing to corrupt). Matchers whose only derived
+// state is the conflict set get a conflict-set corruption.
+func (f *FaultInjector) Corrupt() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.corruptLocked()
+}
+
+// Injected returns descriptions of every corruption injected so far.
+func (f *FaultInjector) Injected() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.injected))
+	copy(out, f.injected)
+	return out
+}
+
+func (f *FaultInjector) tick() {
+	if f.everyN <= 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls%f.everyN == 0 {
+		f.corruptLocked()
+	}
+}
+
+// corruptLocked requires f.mu.
+func (f *FaultInjector) corruptLocked() string {
+	desc := f.corruptWith(f.rng)
+	if desc != "" {
+		f.injected = append(f.injected, desc)
+	}
+	return desc
+}
+
+func (f *FaultInjector) corruptWith(rng *rand.Rand) string {
+	if c, ok := f.inner.(Corrupter); ok {
+		if desc := c.CorruptDerived(rng); desc != "" {
+			return desc
+		}
+	}
+	return CorruptConflictSet(f.inner.ConflictSet(), rng)
+}
+
+// CorruptConflictSet drops one random unfired instantiation from the
+// conflict set — the corruption mode for matchers whose only derived
+// state is the conflict set itself. Returns "" when the set is empty.
+func CorruptConflictSet(cs *conflict.Set, rng *rand.Rand) string {
+	items := cs.SelectAll()
+	if len(items) == 0 {
+		return ""
+	}
+	in := items[rng.Intn(len(items))]
+	cs.Remove(in.Key())
+	return fmt.Sprintf("conflict: dropped instantiation %s", in.Key())
+}

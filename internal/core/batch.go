@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"time"
 
 	"prodsys/internal/conflict"
@@ -101,15 +100,9 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 	}
 	if m.parallel && len(order) > 1 {
 		m.stats.Inc(metrics.ParallelBatches)
-		var wg sync.WaitGroup
-		for _, k := range order {
-			wg.Add(1)
-			go func(k ceKey) {
-				defer wg.Done()
-				m.upsertMany(k, grouped[k])
-			}(k)
-		}
-		wg.Wait()
+		forwardPanics(len(order), func(i int) {
+			m.upsertMany(order[i], grouped[order[i]])
+		})
 	} else {
 		for _, k := range order {
 			m.upsertMany(k, grouped[k])

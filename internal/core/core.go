@@ -354,19 +354,45 @@ func (m *Matcher) propagate(ce *rules.CE, id relation.TupleID, t relation.Tuple,
 	}
 	if m.parallel && len(targets) > 1 {
 		m.stats.Inc(metrics.ParallelBatches)
-		var wg sync.WaitGroup
-		for _, j := range targets {
-			wg.Add(1)
-			go func(j int) {
-				defer wg.Done()
-				m.propagateTo(ce, id, tb, j)
-			}(j)
-		}
-		wg.Wait()
+		forwardPanics(len(targets), func(i int) {
+			m.propagateTo(ce, id, tb, targets[i])
+		})
 		return
 	}
 	for _, j := range targets {
 		m.propagateTo(ce, id, tb, j)
+	}
+}
+
+// forwardPanics runs fn(i) for each i in [0, n) concurrently and, after
+// every goroutine finishes, re-raises the first captured panic in the
+// caller. A panic inside parallel maintenance thereby surfaces
+// synchronously where the executor's fault containment can catch it,
+// instead of killing the process from an unrecoverable goroutine.
+func forwardPanics(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var pv any
+	var panicked bool
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if !panicked {
+						panicked, pv = true, r
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	if panicked {
+		panic(pv)
 	}
 }
 

@@ -100,42 +100,60 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 	// as one atomic batch record at the commit point — still under
 	// maintMu, before the deferred lock release. When a mid-batch error
 	// leaves an applied prefix, that prefix is real (it was propagated to
-	// the matcher), so it is logged too.
+	// the matcher), so it is logged too. A panicked batch is the
+	// exception: its ops are rolled back and nothing reaches the log.
 	var walOps []wal.Op
-	logBatch := func(ids []relation.TupleID, err error) ([]relation.TupleID, error) {
-		if e.wal == nil || len(walOps) == 0 {
-			return ids, err
-		}
-		if lerr := e.logBatchLocked(walOps); lerr != nil && err == nil {
-			err = lerr
-		}
+	rec := &opRecorder{}
+	ids, err := func() (ids []relation.TupleID, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				e.rollbackLocked(rec)
+				walOps = nil
+				ids, err = nil, e.containPanic("batch", r)
+			}
+		}()
+		return e.applyDeltaLocked(ops, &walOps, rec)
+	}()
+	if e.wal == nil || len(walOps) == 0 {
 		return ids, err
 	}
+	if lerr := e.logBatchLocked(walOps); lerr != nil && err == nil {
+		err = lerr
+	}
+	return ids, err
+}
 
+// applyDeltaLocked is the mutation body of ApplyDeltaContext: maintMu
+// and the batch's class locks are held, walOps collects the redo record
+// for the commit point, rec collects undo ops for panic containment.
+func (e *Engine) applyDeltaLocked(ops []DeltaOp, walOps *[]wal.Op, rec *opRecorder) ([]relation.TupleID, error) {
 	ids := make([]relation.TupleID, len(ops))
 	if e.wmObserver != nil {
 		// Sequential fallback: views must see one change at a time.
+		// assertLocked/retractLocked record undo (and redo) into rec as
+		// soon as the storage op lands, so a maintenance panic mid-op
+		// still rolls back; the batch redo record is taken from rec at
+		// the end rather than re-collected here.
+		var seqErr error
 		for i, op := range ops {
 			if op.Retract {
-				if err := e.retractLocked(op.Class, op.ID); err != nil {
-					return logBatch(ids, err)
-				}
-				if e.wal != nil {
-					walOps = append(walOps, wal.Op{Retract: true, Class: op.Class, ID: op.ID})
+				if _, err := e.retractLocked(op.Class, op.ID, rec); err != nil {
+					seqErr = err
+					break
 				}
 				continue
 			}
-			id, err := e.assertLocked(op.Class, op.Tuple)
+			id, err := e.assertLocked(op.Class, op.Tuple, rec)
 			if err != nil {
-				return logBatch(ids, err)
+				seqErr = err
+				break
 			}
 			ids[i] = id
-			if e.wal != nil {
-				stored, _ := e.db.MustGet(op.Class).Get(id)
-				walOps = append(walOps, wal.Op{Class: op.Class, ID: id, Tuple: stored})
-			}
 		}
-		return logBatch(ids, nil)
+		if e.wal != nil {
+			*walOps = append(*walOps, rec.ops...)
+		}
+		return ids, seqErr
 	}
 
 	// Set-oriented path: mutate the WM relations first, then run the
@@ -156,8 +174,9 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 				break
 			}
 			e.stats.Inc(metrics.Counter("updates_" + op.Class))
+			rec.undo = append(rec.undo, undoOp{class: op.Class, id: op.ID, tuple: t})
 			if e.wal != nil {
-				walOps = append(walOps, wal.Op{Retract: true, Class: op.Class, ID: op.ID})
+				*walOps = append(*walOps, wal.Op{Retract: true, Class: op.Class, ID: op.ID})
 			}
 			if inserted[born{op.Class, op.ID}] && delta.CancelInsert(op.Class, op.ID) {
 				continue // net zero: born and died within this batch
@@ -173,8 +192,9 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 		ids[i] = id
 		stored, _ := rel.Get(id)
 		e.stats.Inc(metrics.Counter("updates_" + op.Class))
+		rec.undo = append(rec.undo, undoOp{retract: true, class: op.Class, id: id})
 		if e.wal != nil {
-			walOps = append(walOps, wal.Op{Class: op.Class, ID: id, Tuple: stored})
+			*walOps = append(*walOps, wal.Op{Class: op.Class, ID: id, Tuple: stored})
 		}
 		inserted[born{op.Class, id}] = true
 		delta.AddInsert(op.Class, id, stored)
@@ -189,7 +209,7 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 		}
 	}
 	if err := match.ApplyDelta(e.matcher, delta); err != nil {
-		return logBatch(ids, err)
+		return ids, err
 	}
-	return logBatch(ids, opErr)
+	return ids, opErr
 }

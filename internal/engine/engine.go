@@ -51,6 +51,11 @@ var ErrBlocked = errors.New("engine: negated condition no longer satisfied")
 // catalog; test with errors.Is.
 var ErrUnknownClass = errors.New("unknown class")
 
+// ErrRulePanic marks a firing or maintenance unit that panicked and was
+// contained: its WM effects were rolled back, its locks released, and
+// the WAL never saw a commit. Test with errors.Is.
+var ErrRulePanic = errors.New("engine: panic contained")
+
 // Config tunes an Engine.
 type Config struct {
 	// Strategy selects among conflict-set instantiations in the serial
@@ -78,6 +83,12 @@ type Config struct {
 	// nil or disabled tracers cost a single predictable branch per emit
 	// point.
 	Tracer *trace.Tracer
+	// TxnTimeout, when positive, bounds each firing transaction's lock
+	// acquisition: a transaction still waiting past the deadline is
+	// withdrawn from the lock queues, aborted, and retried with backoff —
+	// the watchdog that keeps one wedged transaction from stalling the
+	// scheduler. Zero disables the watchdog.
+	TxnTimeout time.Duration
 }
 
 // Result summarizes a run.
@@ -86,6 +97,7 @@ type Result struct {
 	Cycles  int
 	Halted  bool
 	Aborts  int
+	Panics  int // firings whose panic was contained and rolled back
 }
 
 // Engine couples a WM catalog, a matcher and an executor.
@@ -195,6 +207,16 @@ func (e *Engine) ConflictSet() *conflict.Set { return e.cs }
 // Locks exposes the lock manager (for tests and experiments).
 func (e *Engine) Locks() *lock.Manager { return e.locks }
 
+// WithMaintenanceLock runs fn while holding the maintenance mutex, so
+// fn sees a quiescent, transaction-consistent WM and matcher state with
+// no firing or batch mid-maintenance. The integrity auditor runs its
+// online audits under it, between firings.
+func (e *Engine) WithMaintenanceLock(fn func()) {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	fn()
+}
+
 // SetWAL attaches an open write-ahead log: every unit committed from
 // here on — rule-firing transactions, batches, direct Assert/Retract —
 // is appended at its commit point. Attach after recovery replay, so
@@ -204,18 +226,96 @@ func (e *Engine) SetWAL(l *wal.Log) { e.wal = l }
 // WAL returns the attached write-ahead log, nil when durability is off.
 func (e *Engine) WAL() *wal.Log { return e.wal }
 
-// opRecorder accumulates the WM operations of one committed unit so the
-// commit hook can append them to the write-ahead log as one atomic
-// record group.
-type opRecorder struct{ ops []wal.Op }
+// opRecorder accumulates the WM operations of one unit: the redo ops
+// the commit hook appends to the write-ahead log as one atomic record
+// group, and the undo ops that reverse the unit if it panics before
+// commit.
+type opRecorder struct {
+	ops  []wal.Op
+	undo []undoOp
+}
 
-// recorder returns a fresh recorder when a WAL is attached; the nil it
-// returns otherwise disables collection in applyActions.
+// undoOp reverses one applied WM operation.
+type undoOp struct {
+	retract bool   // true: the original op asserted; undo by retracting
+	class   string //
+	id      relation.TupleID
+	tuple   relation.Tuple // the deleted tuple, for re-insertion
+}
+
+// recorder returns a fresh recorder. Every firing records its ops: the
+// redo side feeds the WAL commit hook (ignored when no WAL is
+// attached), the undo side makes the firing reversible when its RHS or
+// maintenance panics.
 func (e *Engine) recorder() *opRecorder {
-	if e.wal == nil {
-		return nil
-	}
 	return &opRecorder{}
+}
+
+// rollbackLocked reverse-applies the recorded undo ops, newest first,
+// best-effort: each step runs storage and matcher maintenance and
+// ignores errors — after a contained panic the matcher may have seen
+// only part of the unit, so some reversals have nothing to reverse
+// there. The integrity auditor is the backstop for any residue. Caller
+// holds maintMu.
+func (e *Engine) rollbackLocked(rec *opRecorder) {
+	if rec == nil {
+		return
+	}
+	for i := len(rec.undo) - 1; i >= 0; i-- {
+		u := rec.undo[i]
+		func() {
+			defer func() { _ = recover() }()
+			if u.retract {
+				_, _ = e.retractLocked(u.class, u.id, nil)
+			} else {
+				_ = e.replayAssertLocked(u.class, u.id, u.tuple)
+			}
+		}()
+	}
+	rec.undo = nil
+	rec.ops = nil
+}
+
+// rollback is rollbackLocked taking maintMu itself.
+func (e *Engine) rollback(rec *opRecorder) {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	e.rollbackLocked(rec)
+}
+
+// containPanic converts a recovered panic value into an ErrRulePanic,
+// counting and tracing the containment.
+func (e *Engine) containPanic(scope string, r any) error {
+	e.stats.Inc(metrics.PanicsContained)
+	if e.tr.Enabled() {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindPanicContained, At: e.tr.Now(),
+			CE: -1, Extra: fmt.Sprintf("%s: %v", scope, r),
+		})
+	}
+	return fmt.Errorf("%w: %s: %v", ErrRulePanic, scope, r)
+}
+
+// safeApplyActions is applyActions with fault containment: a panic in
+// the RHS interpreter, a called Go function, or matcher maintenance is
+// recovered, the unit's recorded WM effects are rolled back (through
+// storage, matcher, and observer), and the panic surfaces as an
+// ErrRulePanic. When lockedMu is true the caller holds maintMu and the
+// rollback runs under it; otherwise the rollback takes maintMu itself
+// (the per-op closures of applyActions release it before unwinding).
+func (e *Engine) safeApplyActions(in *conflict.Instantiation, lockedMu bool, rec *opRecorder) (halted bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			halted = false
+			err = e.containPanic("rule "+in.Rule.Name, r)
+			if lockedMu {
+				e.rollbackLocked(rec)
+			} else {
+				e.rollback(rec)
+			}
+		}
+	}()
+	return e.applyActions(in, lockedMu, rec)
 }
 
 // logTxnLocked appends one committed rule-firing unit to the WAL; the
@@ -362,7 +462,7 @@ func (e *Engine) replayRetractLocked(class string, id relation.TupleID) error {
 func (e *Engine) Assert(class string, t relation.Tuple) (relation.TupleID, error) {
 	e.maintMu.Lock()
 	defer e.maintMu.Unlock()
-	id, err := e.assertLocked(class, t)
+	id, err := e.assertLocked(class, t, nil)
 	if err != nil {
 		return id, err
 	}
@@ -375,7 +475,11 @@ func (e *Engine) Assert(class string, t relation.Tuple) (relation.TupleID, error
 	return id, nil
 }
 
-func (e *Engine) assertLocked(class string, t relation.Tuple) (relation.TupleID, error) {
+// assertLocked inserts a tuple and runs maintenance. rec, when non-nil,
+// records the redo and undo ops as soon as the storage write lands —
+// before matcher maintenance — so a maintenance panic still rolls the
+// storage change back.
+func (e *Engine) assertLocked(class string, t relation.Tuple, rec *opRecorder) (relation.TupleID, error) {
 	rel, ok := e.db.Get(class)
 	if !ok {
 		return 0, fmt.Errorf("engine: %w %s", ErrUnknownClass, class)
@@ -386,6 +490,10 @@ func (e *Engine) assertLocked(class string, t relation.Tuple) (relation.TupleID,
 		return 0, err
 	}
 	stored, _ := rel.Get(id)
+	if rec != nil {
+		rec.ops = append(rec.ops, wal.Op{Class: class, ID: id, Tuple: stored})
+		rec.undo = append(rec.undo, undoOp{retract: true, class: class, id: id})
+	}
 	e.stats.Inc(metrics.SerialOps)
 	e.stats.Inc(metrics.Counter("updates_" + class))
 	if err := e.matcher.Insert(class, id, stored); err != nil {
@@ -409,7 +517,7 @@ func (e *Engine) assertLocked(class string, t relation.Tuple) (relation.TupleID,
 func (e *Engine) Retract(class string, id relation.TupleID) error {
 	e.maintMu.Lock()
 	defer e.maintMu.Unlock()
-	if err := e.retractLocked(class, id); err != nil {
+	if _, err := e.retractLocked(class, id, nil); err != nil {
 		return err
 	}
 	if e.wal != nil {
@@ -418,20 +526,28 @@ func (e *Engine) Retract(class string, id relation.TupleID) error {
 	return nil
 }
 
-func (e *Engine) retractLocked(class string, id relation.TupleID) error {
+// retractLocked deletes a tuple and runs maintenance, returning the
+// deleted tuple. rec, when non-nil, records the redo and undo ops as
+// soon as the storage delete lands — before matcher maintenance — so a
+// maintenance panic still rolls the storage change back.
+func (e *Engine) retractLocked(class string, id relation.TupleID, rec *opRecorder) (relation.Tuple, error) {
 	rel, ok := e.db.Get(class)
 	if !ok {
-		return fmt.Errorf("engine: %w %s", ErrUnknownClass, class)
+		return nil, fmt.Errorf("engine: %w %s", ErrUnknownClass, class)
 	}
 	t0 := e.tr.Now()
 	t, err := rel.Delete(id)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if rec != nil {
+		rec.ops = append(rec.ops, wal.Op{Retract: true, Class: class, ID: id})
+		rec.undo = append(rec.undo, undoOp{class: class, id: id, tuple: t})
 	}
 	e.stats.Inc(metrics.SerialOps)
 	e.stats.Inc(metrics.Counter("updates_" + class))
 	if err := e.matcher.Delete(class, id, t); err != nil {
-		return err
+		return nil, err
 	}
 	if e.tr.Enabled() {
 		e.tr.Emit(trace.Event{
@@ -442,7 +558,7 @@ func (e *Engine) retractLocked(class string, id relation.TupleID) error {
 	if e.wmObserver != nil {
 		e.wmObserver(false, class, id, t)
 	}
-	return nil
+	return t, nil
 }
 
 // LoadFacts asserts the facts of a parsed program.
@@ -467,38 +583,32 @@ func (e *Engine) LoadFacts(prog *lang.Program) error {
 // atomic firing across several log units. Returns whether a halt action
 // ran.
 func (e *Engine) applyActions(in *conflict.Instantiation, lockedMu bool, rec *opRecorder) (bool, error) {
-	baseAssert := e.assertLocked
-	baseRetract := e.retractLocked
+	// Recording happens inside assertLocked/retractLocked, between the
+	// storage write and matcher maintenance: a panic in maintenance must
+	// find the storage op already on the undo list.
+	baseAssert := func(class string, t relation.Tuple) (relation.TupleID, error) {
+		return e.assertLocked(class, t, rec)
+	}
+	baseRetract := func(class string, id relation.TupleID) (relation.Tuple, error) {
+		return e.retractLocked(class, id, rec)
+	}
 	if !lockedMu {
+		innerAssert, innerRetract := baseAssert, baseRetract
 		baseAssert = func(class string, t relation.Tuple) (relation.TupleID, error) {
 			e.maintMu.Lock()
 			defer e.maintMu.Unlock()
-			return e.assertLocked(class, t)
+			return innerAssert(class, t)
 		}
-		baseRetract = func(class string, id relation.TupleID) error {
+		baseRetract = func(class string, id relation.TupleID) (relation.Tuple, error) {
 			e.maintMu.Lock()
 			defer e.maintMu.Unlock()
-			return e.retractLocked(class, id)
+			return innerRetract(class, id)
 		}
 	}
 	assert := baseAssert
-	retract := baseRetract
-	if rec != nil {
-		assert = func(class string, t relation.Tuple) (relation.TupleID, error) {
-			id, err := baseAssert(class, t)
-			if err == nil {
-				stored, _ := e.db.MustGet(class).Get(id)
-				rec.ops = append(rec.ops, wal.Op{Class: class, ID: id, Tuple: stored})
-			}
-			return id, err
-		}
-		retract = func(class string, id relation.TupleID) error {
-			err := baseRetract(class, id)
-			if err == nil {
-				rec.ops = append(rec.ops, wal.Op{Retract: true, Class: class, ID: id})
-			}
-			return err
-		}
+	retract := func(class string, id relation.TupleID) error {
+		_, err := baseRetract(class, id)
+		return err
 	}
 	b := in.Bindings.Clone()
 	halted := false
@@ -642,7 +752,7 @@ func (e *Engine) RunSerialContext(ctx context.Context) (Result, error) {
 			e.cs.MarkFired(bi.Key())
 			rec := e.recorder()
 			t0 := e.tr.Now()
-			halted, err := e.applyActions(bi, false, rec)
+			halted, err := e.safeApplyActions(bi, false, rec)
 			if e.tr.Enabled() {
 				e.tr.Emit(trace.Event{
 					Kind: trace.KindRuleFire, At: t0, Dur: e.tr.Now() - t0,
@@ -650,6 +760,13 @@ func (e *Engine) RunSerialContext(ctx context.Context) (Result, error) {
 				})
 			}
 			if err != nil {
+				if errors.Is(err, ErrRulePanic) {
+					// Contained: the firing's effects were rolled back, the
+					// instantiation stays fired (quarantined, so a panic
+					// cannot loop), and the cycle keeps serving.
+					res.Panics++
+					continue
+				}
 				return res, err
 			}
 			if e.wal != nil {
@@ -732,23 +849,57 @@ func (e *Engine) lockPlan(in *conflict.Instantiation) []lockReq {
 // validate, act, complete maintenance, commit (release). The returned
 // error classifies aborts. Cancellation is observed before lock
 // acquisition; once locks are held the transaction runs to completion.
-func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) error {
+func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) (err error) {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	txn := lock.TxnID(e.nextTxn.Add(1))
+	// Backstop containment: a panic anywhere in the transaction outside
+	// safeApplyActions (lock planning, validation joins) still releases
+	// the transaction's locks and surfaces as an abort instead of
+	// killing the worker. safeApplyActions handles the act+maintenance
+	// region itself (it must roll back under maintMu).
+	defer func() {
+		if r := recover(); r != nil {
+			e.locks.Release(txn)
+			e.stats.Inc(metrics.TxnAborts)
+			e.emitTxnAbort(in, txn, "panic")
+			err = e.containPanic("txn rule "+in.Rule.Name, r)
+		}
+	}()
 	plan := e.lockPlan(in)
+	var deadline time.Time
+	if e.cfg.TxnTimeout > 0 {
+		deadline = time.Now().Add(e.cfg.TxnTimeout)
+	}
 	t0 := e.tr.Now()
 	for _, req := range plan {
-		if err := e.locks.Acquire(txn, req.tgt, req.mode); err != nil {
+		var aerr error
+		if e.cfg.TxnTimeout > 0 {
+			// The whole plan shares one watchdog deadline; a transaction
+			// whose earlier waits ate the budget fails fast on the rest.
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				rem = time.Nanosecond
+			}
+			aerr = e.locks.AcquireTimeout(txn, req.tgt, req.mode, rem)
+		} else {
+			aerr = e.locks.Acquire(txn, req.tgt, req.mode)
+		}
+		if aerr != nil {
 			e.locks.Release(txn)
-			// Deadlock victim. Count it here so the TxnAborts counter
-			// agrees with Result.Aborts and the txn_abort event stream:
-			// the lock manager's abortLocked cannot know whether the
-			// victim belongs to a rule-firing transaction.
+			// Deadlock victim or watchdog timeout. Count it here so the
+			// TxnAborts counter agrees with Result.Aborts and the
+			// txn_abort event stream: the lock manager's abortLocked
+			// cannot know whether the victim belongs to a rule-firing
+			// transaction.
 			e.stats.Inc(metrics.TxnAborts)
-			e.emitTxnAbort(in, txn, "deadlock")
-			return err
+			reason := "deadlock"
+			if errors.Is(aerr, lock.ErrTimeout) {
+				reason = "timeout"
+			}
+			e.emitTxnAbort(in, txn, reason)
+			return aerr
 		}
 	}
 	if e.tr.Enabled() {
@@ -798,7 +949,7 @@ func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) error {
 	e.cs.MarkFired(in.Key())
 	rec := e.recorder()
 	tAct := e.tr.Now()
-	_, err := e.applyActions(in, true, rec)
+	_, err = e.safeApplyActions(in, true, rec)
 	if e.tr.Enabled() {
 		e.tr.Emit(trace.Event{
 			Kind: trace.KindRuleFire, At: tAct, Dur: e.tr.Now() - tAct,
@@ -806,7 +957,8 @@ func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) error {
 		})
 	}
 	// Commit point (§5.2): maintenance is complete; make the unit durable
-	// before the locks release.
+	// before the locks release. A panicked unit was rolled back and is
+	// never logged — the WAL sees no commit.
 	var logErr error
 	if err == nil {
 		logErr = e.logTxnLocked(in.Key(), rec)
@@ -814,6 +966,10 @@ func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) error {
 	e.maintMu.Unlock()
 	commit()
 	if err != nil {
+		if errors.Is(err, ErrRulePanic) {
+			e.stats.Inc(metrics.TxnAborts)
+			e.emitTxnAbort(in, txn, "panic")
+		}
 		return err
 	}
 	if logErr != nil {
@@ -895,7 +1051,7 @@ func (e *Engine) RunConcurrentContext(ctx context.Context) (Result, error) {
 			batch = batch[:e.cfg.MaxFirings-res.Firings]
 		}
 		res.Cycles++
-		var fired, aborted atomic.Int64
+		var fired, aborted, panicked atomic.Int64
 		work := make(chan *conflict.Instantiation)
 		var wg sync.WaitGroup
 		for w := 0; w < e.cfg.Workers; w++ {
@@ -907,15 +1063,16 @@ func (e *Engine) RunConcurrentContext(ctx context.Context) (Result, error) {
 						continue
 					}
 					err := e.runTxn(ctx, in)
-					// A deadlock victim is retried with bounded jittered
-					// backoff rather than dropped: its instantiation is
-					// still applicable (nothing invalidated it — it lost a
-					// cycle tie-break), and dropping it strands the firing
-					// until the next round, or forever when no next round
-					// comes. Each aborted attempt still counts as an abort,
-					// keeping Result.Aborts in lock-step with the TxnAborts
-					// counter and the txn_abort event stream.
-					for attempt := 1; errors.Is(err, lock.ErrAborted) &&
+					// A deadlock victim — or a watchdog timeout — is retried
+					// with bounded jittered backoff rather than dropped: its
+					// instantiation is still applicable (nothing invalidated
+					// it — it lost a cycle tie-break or outwaited the
+					// deadline), and dropping it strands the firing until the
+					// next round, or forever when no next round comes. Each
+					// aborted attempt still counts as an abort, keeping
+					// Result.Aborts in lock-step with the TxnAborts counter
+					// and the txn_abort event stream.
+					for attempt := 1; (errors.Is(err, lock.ErrAborted) || errors.Is(err, lock.ErrTimeout)) &&
 						attempt <= maxTxnRetries && !e.halted.Load() && ctx.Err() == nil; attempt++ {
 						aborted.Add(1)
 						e.stats.Inc(metrics.TxnRetries)
@@ -925,7 +1082,13 @@ func (e *Engine) RunConcurrentContext(ctx context.Context) (Result, error) {
 					switch {
 					case err == nil:
 						fired.Add(1)
-					case errors.Is(err, ErrStale), errors.Is(err, ErrBlocked), errors.Is(err, lock.ErrAborted):
+					case errors.Is(err, ErrRulePanic):
+						// Contained: effects rolled back, locks released,
+						// instantiation quarantined; the pool keeps serving.
+						aborted.Add(1)
+						panicked.Add(1)
+					case errors.Is(err, ErrStale), errors.Is(err, ErrBlocked),
+						errors.Is(err, lock.ErrAborted), errors.Is(err, lock.ErrTimeout):
 						aborted.Add(1)
 					default:
 						errMu.Lock()
@@ -947,6 +1110,7 @@ func (e *Engine) RunConcurrentContext(ctx context.Context) (Result, error) {
 		}
 		res.Firings += int(fired.Load())
 		res.Aborts += int(aborted.Load())
+		res.Panics += int(panicked.Load())
 		if fired.Load() == 0 && aborted.Load() == 0 {
 			return res, nil
 		}

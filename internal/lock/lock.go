@@ -71,6 +71,11 @@ type TxnID uint64
 // back and release its locks.
 var ErrAborted = errors.New("lock: transaction aborted as deadlock victim")
 
+// ErrTimeout is returned to a transaction whose lock request outlived
+// the watchdog deadline; the request is withdrawn from the queue and
+// the transaction should release its locks and may retry.
+var ErrTimeout = errors.New("lock: acquisition timed out")
+
 // request is a queued lock request.
 type request struct {
 	txn   TxnID
@@ -136,49 +141,33 @@ func (e *entry) compatible(txn TxnID, mode Mode) bool {
 // stronger one), or returns ErrAborted if the transaction was chosen as a
 // deadlock victim while waiting.
 func (m *Manager) Acquire(txn TxnID, tgt Target, mode Mode) error {
-	m.mu.Lock()
-	if m.aborted[txn] {
-		m.mu.Unlock()
-		return ErrAborted
+	return m.AcquireTimeout(txn, tgt, mode, 0)
+}
+
+// AcquireTimeout is Acquire bounded by a watchdog: a request still
+// queued when the timeout elapses is withdrawn and fails with
+// ErrTimeout (a grant or deadlock abort that races ahead of the
+// deadline wins). A timeout <= 0 waits indefinitely.
+func (m *Manager) AcquireTimeout(txn TxnID, tgt Target, mode Mode, timeout time.Duration) error {
+	req, tr, err := m.enqueue(txn, tgt, mode)
+	if req == nil {
+		return err
 	}
-	e := m.entries[tgt]
-	if e == nil {
-		e = &entry{holders: make(map[TxnID]Mode)}
-		m.entries[tgt] = e
-	}
-	if cur, holds := e.holders[txn]; holds {
-		if cur == Exclusive || mode == Shared {
-			m.mu.Unlock()
-			return nil // already strong enough
-		}
-		// Upgrade S→X: wait until sole holder.
-	}
-	if e.compatible(txn, mode) && len(e.queue) == 0 {
-		m.grant(txn, tgt, e, mode)
-		m.mu.Unlock()
-		return nil
-	}
-	// Also grant an upgrade immediately when txn is the only holder, even
-	// if others are queued (they cannot be granted anyway while we hold S).
-	if _, holds := e.holders[txn]; holds && len(e.holders) == 1 && mode == Exclusive {
-		m.grant(txn, tgt, e, mode)
-		m.mu.Unlock()
-		return nil
-	}
-	req := &request{txn: txn, mode: mode, ready: make(chan error, 1)}
-	e.queue = append(e.queue, req)
-	m.addWaitEdges(txn, e)
-	m.stats.Inc(metrics.LockWaits)
-	if victim := m.detectDeadlock(txn); victim != 0 {
-		m.abortLocked(victim)
-	}
-	tr := m.tr
-	m.mu.Unlock()
 	var t0 time.Duration
 	if tr.Enabled() {
 		t0 = tr.Now()
 	}
-	err := <-req.ready
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		select {
+		case err = <-req.ready:
+		case <-timer.C:
+			err = m.withdraw(txn, tgt, req)
+		}
+		timer.Stop()
+	} else {
+		err = <-req.ready
+	}
 	if tr.Enabled() {
 		extra := tgt.String()
 		if err != nil {
@@ -190,6 +179,87 @@ func (m *Manager) Acquire(txn TxnID, tgt Target, mode Mode) error {
 		})
 	}
 	return err
+}
+
+// enqueue runs the synchronous grant paths and, failing those, queues a
+// request. A nil request means the call completed synchronously with
+// the returned error (possibly nil = granted).
+func (m *Manager) enqueue(txn TxnID, tgt Target, mode Mode) (*request, *trace.Tracer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.aborted[txn] {
+		return nil, m.tr, ErrAborted
+	}
+	e := m.entries[tgt]
+	if e == nil {
+		e = &entry{holders: make(map[TxnID]Mode)}
+		m.entries[tgt] = e
+	}
+	if cur, holds := e.holders[txn]; holds {
+		if cur == Exclusive || mode == Shared {
+			return nil, m.tr, nil // already strong enough
+		}
+		// Upgrade S→X: wait until sole holder.
+	}
+	if e.compatible(txn, mode) && len(e.queue) == 0 {
+		m.grant(txn, tgt, e, mode)
+		return nil, m.tr, nil
+	}
+	// Also grant an upgrade immediately when txn is the only holder, even
+	// if others are queued (they cannot be granted anyway while we hold S).
+	if _, holds := e.holders[txn]; holds && len(e.holders) == 1 && mode == Exclusive {
+		m.grant(txn, tgt, e, mode)
+		return nil, m.tr, nil
+	}
+	req := &request{txn: txn, mode: mode, ready: make(chan error, 1)}
+	e.queue = append(e.queue, req)
+	m.addWaitEdges(txn, e)
+	m.stats.Inc(metrics.LockWaits)
+	if victim := m.detectDeadlock(txn); victim != 0 {
+		m.abortLocked(victim)
+	}
+	return req, m.tr, nil
+}
+
+// withdraw removes a timed-out request from its queue. If a grant or
+// abort landed just before the deadline the request is no longer
+// queued; that result wins (it is already buffered in req.ready,
+// because grants and aborts complete inside the same critical section
+// that dequeues the request).
+func (m *Manager) withdraw(txn TxnID, tgt Target, req *request) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[tgt]
+	found := false
+	if e != nil {
+		kept := e.queue[:0]
+		for _, r := range e.queue {
+			if r == req {
+				found = true
+				continue
+			}
+			kept = append(kept, r)
+		}
+		e.queue = kept
+	}
+	if !found {
+		return <-req.ready
+	}
+	// Recompute txn's wait edges now that it no longer queues here.
+	delete(m.waitsFor, txn)
+	for _, e2 := range m.entries {
+		for _, q := range e2.queue {
+			if q.txn == txn {
+				m.addWaitEdges(txn, e2)
+			}
+		}
+	}
+	// Removing the request may unblock the queue behind it.
+	if e != nil {
+		m.wakeLocked(tgt, e)
+	}
+	m.stats.Inc(metrics.TxnTimeouts)
+	return ErrTimeout
 }
 
 // grant records the lock, never downgrading an exclusive hold.

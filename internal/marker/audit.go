@@ -1,0 +1,107 @@
+package marker
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prodsys/internal/audit"
+	"prodsys/internal/conflict"
+	"prodsys/internal/joiner"
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+	"prodsys/internal/rules"
+)
+
+// This file implements the integrity-audit hooks for Basic Locking.
+// The invariant audited is one-sided: every tuple supporting a live
+// instantiation must still carry that rule's marker, or a future WM
+// update touching it would be silently dropped. Stale markers on tuples
+// that no longer support a match are by design (the algorithm tolerates
+// false drops), so no phantom class is reported.
+
+// AuditDerived implements audit.DerivedAuditor: for each selected rule,
+// the full LHS join is recomputed from WM and each supporting tuple's
+// marker checked.
+func (m *Matcher) AuditDerived(db *relation.DB, only map[string]bool, emit func(audit.Divergence)) {
+	for _, r := range m.set.Rules {
+		if only != nil && !only[r.Name] {
+			continue
+		}
+		r := r
+		joiner.Enumerate(db, r, nil, nil, m.stats, func(ids []relation.TupleID, _ []relation.Tuple, _ rules.Bindings) {
+			in := conflict.Instantiation{Rule: r, TupleIDs: ids}
+			if m.cs.HasFired(in.Key()) {
+				return
+			}
+			for i, ce := range r.CEs {
+				if ce.Negated {
+					continue
+				}
+				key := tupleKey{class: ce.Class, id: ids[i]}
+				m.mu.Lock()
+				_, marked := m.marks[key][r]
+				m.mu.Unlock()
+				if !marked {
+					emit(audit.Divergence{Class: audit.DivMarkMissing, Rule: r.Name, CE: i,
+						Key:      fmt.Sprintf("%s:%d", ce.Class, ids[i]),
+						Expected: "tuple marked with rule", Actual: "no marker"})
+				}
+			}
+		})
+	}
+}
+
+// RebuildRules implements audit.DerivedRebuilder: the selected rules'
+// markers are re-derived by re-running their LHS joins and re-marking
+// every supporting tuple. Existing markers are left in place (stale
+// ones are harmless).
+func (m *Matcher) RebuildRules(db *relation.DB, only map[string]bool) error {
+	for _, r := range m.set.Rules {
+		if only != nil && !only[r.Name] {
+			continue
+		}
+		r := r
+		joiner.Enumerate(db, r, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+			in := &conflict.Instantiation{Rule: r, TupleIDs: ids, Tuples: tuples, Bindings: b}
+			m.markInstantiation(in)
+		})
+	}
+	m.stats.Inc(metrics.MatcherRebuilds)
+	return nil
+}
+
+// CorruptDerived implements audit.Corrupter: one marker required by a
+// live instantiation is removed, simulating a lost mark bit.
+func (m *Matcher) CorruptDerived(rng *rand.Rand) string {
+	type cand struct {
+		in    *conflict.Instantiation
+		ceIdx int
+	}
+	var cands []cand
+	for _, in := range m.cs.SelectAll() {
+		for i, ce := range in.Rule.CEs {
+			if ce.Negated {
+				continue
+			}
+			m.mu.Lock()
+			_, marked := m.marks[tupleKey{class: ce.Class, id: in.TupleIDs[i]}][in.Rule]
+			m.mu.Unlock()
+			if marked {
+				cands = append(cands, cand{in: in, ceIdx: i})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	c := cands[rng.Intn(len(cands))]
+	ce := c.in.Rule.CEs[c.ceIdx]
+	key := tupleKey{class: ce.Class, id: c.in.TupleIDs[c.ceIdx]}
+	m.mu.Lock()
+	delete(m.marks[key], c.in.Rule)
+	if len(m.marks[key]) == 0 {
+		delete(m.marks, key)
+	}
+	m.mu.Unlock()
+	return fmt.Sprintf("marker: unmarked %s:%d for rule %s", ce.Class, key.id, c.in.Rule.Name)
+}

@@ -69,6 +69,15 @@ const (
 	RecoveryOps    Counter = "recovery_ops"    // WM operations replayed at open
 	RecoveryTuples Counter = "recovery_tuples" // checkpoint tuples restored at open
 	RecoveryNanos  Counter = "recovery_ns"     // wall time spent in recovery replay
+
+	// Integrity level (internal/audit + executor fault containment).
+	AuditRuns         Counter = "audit_runs"          // audit passes (full or sampled)
+	AuditRulesChecked Counter = "audit_rules_checked" // rules examined across audits
+	AuditDivergences  Counter = "audit_divergences"   // divergences detected
+	AuditRepairs      Counter = "audit_repairs"       // divergences repaired
+	MatcherRebuilds   Counter = "matcher_rebuilds"    // rules (or matchers) rebuilt from WM
+	PanicsContained   Counter = "panics_contained"    // rule/maintenance panics absorbed
+	TxnTimeouts       Counter = "txn_timeouts"        // transactions aborted by the watchdog
 )
 
 // Set is a concurrent counter bag. The zero Set is ready to use.

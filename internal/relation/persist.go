@@ -76,7 +76,10 @@ func DecodeValue(s string) (value.V, error) {
 func (db *DB) Dump(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, name := range db.Names() {
-		rel := db.MustGet(name)
+		rel, err := db.Lookup(name)
+		if err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(bw, "#relation %s %s\n", name, strings.Join(rel.Schema().Attrs(), " ")); err != nil {
 			return err
 		}
@@ -124,7 +127,11 @@ func (db *DB) Restore(r io.Reader) ([]RestoredTuple, error) {
 	}
 	// Validation passed for every line; apply the whole dump.
 	for _, rt := range staged {
-		if err := db.MustGet(rt.Class).insertWithID(rt.ID, rt.Tuple); err != nil {
+		rel, err := db.Lookup(rt.Class)
+		if err != nil {
+			return nil, fmt.Errorf("relation: restore apply: %v", err)
+		}
+		if err := rel.insertWithID(rt.ID, rt.Tuple); err != nil {
 			// Unreachable after validation; report rather than panic.
 			return nil, fmt.Errorf("relation: restore apply: %v", err)
 		}

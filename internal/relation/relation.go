@@ -14,6 +14,10 @@ import (
 // schema; test with errors.Is.
 var ErrArity = errors.New("arity mismatch")
 
+// ErrUnknownRelation marks a catalog lookup for a name with no
+// relation; test with errors.Is.
+var ErrUnknownRelation = errors.New("unknown relation")
+
 // TupleID identifies a stored tuple within one relation. IDs are assigned
 // monotonically and never reused, so they double as insertion timestamps
 // (the "recency" used by OPS5-style conflict resolution).
@@ -360,12 +364,23 @@ func (db *DB) Get(name string) (*Relation, bool) {
 	return r, ok
 }
 
-// MustGet returns the named relation, panicking if absent; for callers
-// that have already validated the catalog against the rule set.
-func (db *DB) MustGet(name string) *Relation {
+// Lookup returns the named relation or ErrUnknownRelation (wrapped
+// with the name) when absent.
+func (db *DB) Lookup(name string) (*Relation, error) {
 	r, ok := db.Get(name)
 	if !ok {
-		panic(fmt.Sprintf("relation %s not in catalog", name))
+		return nil, fmt.Errorf("relation %s: %w", name, ErrUnknownRelation)
+	}
+	return r, nil
+}
+
+// MustGet returns the named relation, panicking if absent; for callers
+// that have already validated the catalog against the rule set. Code
+// that handles unvalidated names should use Lookup instead.
+func (db *DB) MustGet(name string) *Relation {
+	r, err := db.Lookup(name)
+	if err != nil {
+		panic(err.Error())
 	}
 	return r
 }

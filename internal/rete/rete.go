@@ -77,6 +77,14 @@ type tokenSink interface {
 	tokenAdded(t *token)
 }
 
+// tokenStore is a node storing tokens a join can iterate (beta memory
+// or negative node); allTokens additionally exposes blocked tokens to
+// the integrity auditor.
+type tokenStore interface {
+	eachToken(func(*token))
+	allTokens() []*token
+}
+
 // joinTest compares an attribute of the candidate WME with an attribute
 // of an earlier condition element's WME inside the token.
 type joinTest struct {
@@ -154,6 +162,16 @@ func (bm *betaMemory) leftActivate(parent *token, w *WME, level int) {
 }
 
 func (bm *betaMemory) removeToken(t *token) { delete(bm.items, t) }
+
+// allTokens returns every stored token (for the integrity auditor; at a
+// negative node this includes blocked tokens, which eachToken hides).
+func (bm *betaMemory) allTokens() []*token {
+	out := make([]*token, 0, len(bm.items))
+	for t := range bm.items {
+		out = append(out, t)
+	}
+	return out
+}
 
 // joinNode pairs parent-store tokens with alpha memory WMEs.
 type joinNode struct {
@@ -298,6 +316,14 @@ func (n *negativeNode) eachToken(f func(*token)) {
 	}
 }
 
+func (n *negativeNode) allTokens() []*token {
+	out := make([]*token, 0, len(n.items))
+	for t := range n.items {
+		out = append(out, t)
+	}
+	return out
+}
+
 // pnode is a production node: complete matches become conflict-set
 // instantiations.
 type pnode struct {
@@ -321,6 +347,14 @@ func (p *pnode) tokenAdded(t *token) { p.leftActivate(t, nil, t.level) }
 func (p *pnode) removeToken(t *token) {
 	delete(p.items, t)
 	p.net.removeInstantiation(p.rule, t)
+}
+
+func (p *pnode) allTokens() []*token {
+	out := make([]*token, 0, len(p.items))
+	for t := range p.items {
+		out = append(out, t)
+	}
+	return out
 }
 
 // wmeAtLevel walks the token chain to the entry for the given condition
@@ -352,6 +386,7 @@ type Network struct {
 	top          *betaMemory
 	wmes         map[wmeKey]*WME
 	pnodes       []*pnode
+	ruleChains   []*ruleChain
 
 	// share enables beta-prefix sharing across rules (the multiple-query
 	// optimization of §6: common subchains compiled once); chains caches
@@ -363,9 +398,19 @@ type Network struct {
 // chainStep records the token store reached after compiling one prefix of
 // condition elements, so another rule with the same prefix can reuse it.
 type chainStep struct {
-	store  interface{ eachToken(func(*token)) }
+	store  tokenStore
 	attach func(tokenSink)
 	node   amemSuccessor // the step's join/negative node, for owner attribution
+}
+
+// ruleChain records, per rule, the token store reached after each
+// condition element plus the production node — the derived state the
+// integrity auditor recomputes from WM and diffs. Under beta-prefix
+// sharing the stores may be shared with other rules' chains.
+type ruleChain struct {
+	rule   *rules.Rule
+	stores []tokenStore // aligned with rule.CEs
+	pn     *pnode
 }
 
 // New compiles the rule set into a Rete network maintaining cs.
@@ -495,7 +540,7 @@ func (net *Network) compileRule(r *rules.Rule) {
 	// so that nodes wired after tokens exist (the dummy top token, or
 	// tokens created while compiling a chain of negated condition
 	// elements) see them.
-	var curStore interface{ eachToken(func(*token)) }
+	var curStore tokenStore
 	var attach func(child tokenSink)
 
 	top := net.top
@@ -504,6 +549,10 @@ func (net *Network) compileRule(r *rules.Rule) {
 		top.children = append(top.children, c)
 		c.tokenAdded(net.dummyTop)
 	}
+
+	// chainStores records the store reached after each CE for the
+	// integrity auditor.
+	chainStores := make([]tokenStore, 0, len(r.CEs))
 
 	prefixSig := "⊤"
 	for i, ce := range r.CEs {
@@ -535,6 +584,7 @@ func (net *Network) compileRule(r *rules.Rule) {
 				cached.node.addOwner(r)
 				curStore = cached.store
 				attach = cached.attach
+				chainStores = append(chainStores, curStore)
 				for v, p := range local {
 					binders[v] = binder{level: i, pos: p}
 				}
@@ -557,6 +607,7 @@ func (net *Network) compileRule(r *rules.Rule) {
 			if net.share {
 				net.chains[prefixSig] = &chainStep{store: curStore, attach: attach, node: neg}
 			}
+			chainStores = append(chainStores, curStore)
 			continue
 		}
 
@@ -575,6 +626,7 @@ func (net *Network) compileRule(r *rules.Rule) {
 		if net.share {
 			net.chains[prefixSig] = &chainStep{store: curStore, attach: attach, node: j}
 		}
+		chainStores = append(chainStores, curStore)
 		// Record binders for variables first bound here.
 		for v, p := range local {
 			binders[v] = binder{level: i, pos: p}
@@ -584,6 +636,7 @@ func (net *Network) compileRule(r *rules.Rule) {
 	pn := newPNode(net, r)
 	attach(pn)
 	net.pnodes = append(net.pnodes, pn)
+	net.ruleChains = append(net.ruleChains, &ruleChain{rule: r, stores: chainStores, pn: pn})
 }
 
 // Insert implements match.Matcher: the WME enters through the root and

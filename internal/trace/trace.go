@@ -48,6 +48,11 @@ const (
 	KindWALSync        // the log was fsynced (Dur = sync time)
 	KindCheckpoint     // a checkpoint compaction ran (Count = tuples snapshotted)
 	KindRecoveryReplay // recovery replayed the checkpoint + log tail (Count = units replayed)
+	// Integrity layer.
+	KindAuditRun        // an integrity audit pass completed (Count = divergences found)
+	KindAuditDivergence // one divergence between derived state and ground truth (Extra = detail)
+	KindRepair          // derived state was rebuilt after a divergence (Extra = scope)
+	KindPanicContained  // a panicking firing or maintenance step was absorbed (Extra = value)
 
 	kindCount
 )
@@ -72,6 +77,10 @@ var kindNames = [kindCount]string{
 	KindWALSync:          "wal_sync",
 	KindCheckpoint:       "checkpoint",
 	KindRecoveryReplay:   "recovery_replay",
+	KindAuditRun:         "audit_run",
+	KindAuditDivergence:  "audit_divergence",
+	KindRepair:           "repair",
+	KindPanicContained:   "panic_contained",
 }
 
 // String returns the stable snake_case name of the kind.

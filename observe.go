@@ -132,6 +132,18 @@ type DurabilityStats struct {
 	RecoveryNanos  int64 // wall time spent in recovery replay
 }
 
+// IntegrityStats counts audit, repair, and fault-containment
+// operations.
+type IntegrityStats struct {
+	AuditRuns         int64 // audit passes (full or sampled)
+	AuditRulesChecked int64 // rules examined across audits
+	AuditDivergences  int64 // divergences detected
+	AuditRepairs      int64 // divergences repaired
+	MatcherRebuilds   int64 // rules (or whole matchers) rebuilt from WM
+	PanicsContained   int64 // rule/maintenance panics absorbed
+	TxnTimeouts       int64 // transactions aborted by the watchdog
+}
+
 // Snapshot is a typed, immutable copy of the system's operation
 // counters, grouped by subsystem. Counters holds every raw counter by
 // name, including any not covered by the typed sections.
@@ -141,6 +153,7 @@ type Snapshot struct {
 	Execution  ExecutionStats
 	Batch      BatchStats
 	Durability DurabilityStats
+	Integrity  IntegrityStats
 	Counters   map[string]int64
 }
 
@@ -206,6 +219,15 @@ func newSnapshot(m map[string]int64) Snapshot {
 			RecoveryOps:    m["recovery_ops"],
 			RecoveryTuples: m["recovery_tuples"],
 			RecoveryNanos:  m["recovery_ns"],
+		},
+		Integrity: IntegrityStats{
+			AuditRuns:         m["audit_runs"],
+			AuditRulesChecked: m["audit_rules_checked"],
+			AuditDivergences:  m["audit_divergences"],
+			AuditRepairs:      m["audit_repairs"],
+			MatcherRebuilds:   m["matcher_rebuilds"],
+			PanicsContained:   m["panics_contained"],
+			TxnTimeouts:       m["txn_timeouts"],
 		},
 		Counters: m,
 	}

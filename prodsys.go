@@ -42,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"prodsys/internal/audit"
 	"prodsys/internal/conflict"
 	"prodsys/internal/core"
 	"prodsys/internal/engine"
@@ -136,6 +137,11 @@ type Options struct {
 	// SetAtATime fires every eligible instantiation of the selected rule
 	// per cycle (the set-oriented execution of §5.1).
 	SetAtATime bool
+	// TxnTimeout bounds each firing transaction: a transaction whose lock
+	// waits exceed the budget is aborted (its effects rolled back, locks
+	// released) and retried — the watchdog that keeps a stuck firing from
+	// wedging the executor. Zero disables the watchdog.
+	TxnTimeout time.Duration
 
 	// WALPath enables crash-safe durability: every committed unit (rule
 	// firing, batch, Assert/Retract) is appended to the write-ahead log
@@ -169,6 +175,9 @@ type Result struct {
 	Halted bool
 	// Aborts counts transactions aborted in concurrent runs.
 	Aborts int
+	// Panics counts firings whose panic was contained: effects rolled
+	// back, locks released, nothing committed to the WAL.
+	Panics int
 }
 
 // System is a loaded production system.
@@ -187,6 +196,8 @@ type System struct {
 
 	wal      *wal.Log      // non-nil while durability is active
 	recovery *RecoveryInfo // what Load recovered; nil without a WAL
+
+	aud *audit.Auditor // lazily built by Audit; keeps the sampling cursor
 }
 
 // Load parses, compiles and initializes a production system from OPS5
@@ -252,6 +263,7 @@ func Load(src string, opts Options) (*System, error) {
 		CommitEarly: opts.CommitEarly,
 		SetAtATime:  opts.SetAtATime,
 		Tracer:      tr,
+		TxnTimeout:  opts.TxnTimeout,
 	})
 	if err := sys.openWAL(opts); err != nil {
 		return nil, err
@@ -696,7 +708,10 @@ func (s *System) AttachViews(src string) (*Views, error) {
 	})
 	// Seed the views with the current WM contents.
 	for _, name := range s.db.Names() {
-		rel := s.db.MustGet(name)
+		rel, err := s.db.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
 		var ids []relation.TupleID
 		var tups []relation.Tuple
 		rel.Scan(func(id relation.TupleID, t relation.Tuple) bool {
