@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check fmt fuzz-short trace-demo crash-demo audit-demo
+.PHONY: build test test-storage bench bench-storage check fmt fuzz-short trace-demo crash-demo audit-demo
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,20 @@ build:
 test:
 	$(GO) test ./...
 
+# test-storage runs the tier-1 suite once per storage backend; the
+# PRODSYS_STORAGE env var sets the process-wide default backend.
+test-storage:
+	PRODSYS_STORAGE=row $(GO) test ./...
+	PRODSYS_STORAGE=columnar $(GO) test ./...
+
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-storage runs the storage benchmark — the payroll insert batch
+# crossed over backend (row|columnar) × index availability × matcher —
+# printing the table and writing the results to BENCH_6.json.
+bench-storage:
+	$(GO) run ./cmd/psbench -storage-bench BENCH_6.json
 
 # check is the extended verification: static analysis, formatting, and
 # the full test suite under the race detector. staticcheck runs when

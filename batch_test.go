@@ -138,16 +138,21 @@ func TestBatchCounters(t *testing.T) {
 		Commit(); err != nil {
 		t.Fatal(err)
 	}
-	stats := sys.Stats()
-	if stats["batch_deltas"] != 1 {
-		t.Errorf("batch_deltas = %d", stats["batch_deltas"])
+	m := sys.Metrics()
+	if m.Batch.Deltas != 1 {
+		t.Errorf("Batch.Deltas = %d", m.Batch.Deltas)
 	}
-	if stats["batch_tuples"] != 3 {
-		t.Errorf("batch_tuples = %d", stats["batch_tuples"])
+	if m.Batch.Tuples != 3 {
+		t.Errorf("Batch.Tuples = %d", m.Batch.Tuples)
 	}
 	// Two classes, inserts only: one propagation group per class.
-	if stats["batch_propagations"] != 2 {
-		t.Errorf("batch_propagations = %d", stats["batch_propagations"])
+	if m.Batch.Propagations != 2 {
+		t.Errorf("Batch.Propagations = %d", m.Batch.Propagations)
+	}
+	// The whole batch was one run of same-class assertions per class:
+	// two bulk storage inserts, visible through the storage metrics.
+	if m.Storage.BatchInserts != 2 {
+		t.Errorf("Storage.BatchInserts = %d", m.Storage.BatchInserts)
 	}
 }
 

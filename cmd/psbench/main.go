@@ -9,9 +9,15 @@
 //	psbench -exp e2,e7      # selected experiments
 //	psbench -list           # list available experiments
 //	psbench -trace out.json # trace demo: payroll run, profile + Chrome trace
+//
+//	psbench -storage-bench BENCH_6.json
+//	  storage benchmark: payroll insert batch crossed over backend
+//	  (row|columnar) × index availability × matcher, printed as a table
+//	  and written to the named file as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -107,6 +113,22 @@ func traceDemo(path, matcher string, nOps int) error {
 	return nil
 }
 
+// storageBench runs the storage benchmark and writes the results to
+// path as JSON, printing the aligned table to stdout.
+func storageBench(path string, ruleCount, nOps int) error {
+	rows := experiments.StorageBench(ruleCount, nOps)
+	fmt.Print(experiments.StorageTable(rows).String())
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nstorage benchmark written to %s\n", path)
+	return nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (0 < scale ≤ 1 for quicker runs)")
 	exps := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
@@ -114,7 +136,18 @@ func main() {
 	traceOut := flag.String("trace", "", "run the payroll trace demo and write a Chrome trace_event file to this path")
 	traceMatcher := flag.String("trace-matcher", "core", "matcher for the trace demo")
 	traceOps := flag.Int("trace-ops", 400, "operation count for the trace demo")
+	storageOut := flag.String("storage-bench", "", "run the storage benchmark and write JSON results to this path")
+	storageRules := flag.Int("storage-rules", 50, "rule count for the storage benchmark")
+	storageOps := flag.Int("storage-ops", 1500, "operation count for the storage benchmark")
 	flag.Parse()
+
+	if *storageOut != "" {
+		if err := storageBench(*storageOut, *storageRules, *storageOps); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *traceOut != "" {
 		if err := traceDemo(*traceOut, *traceMatcher, *traceOps); err != nil {

@@ -157,7 +157,10 @@ func (e *Engine) applyDeltaLocked(ops []DeltaOp, walOps *[]wal.Op, rec *opRecord
 	}
 
 	// Set-oriented path: mutate the WM relations first, then run the
-	// batch maintenance over the net delta.
+	// batch maintenance over the net delta. Maximal runs of consecutive
+	// same-class assertions go through the storage backend's bulk
+	// InsertBatch — one lock acquisition and one growth decision per
+	// run — which is where the columnar backend earns its keep.
 	delta := relation.NewDelta()
 	type born struct {
 		class string
@@ -165,8 +168,13 @@ func (e *Engine) applyDeltaLocked(ops []DeltaOp, walOps *[]wal.Op, rec *opRecord
 	}
 	inserted := map[born]bool{} // tuples born in this batch
 	var opErr error
-	for i, op := range ops {
-		rel := e.db.MustGet(op.Class)
+	for i := 0; i < len(ops); i++ {
+		op := ops[i]
+		rel, err := e.db.Lookup(op.Class)
+		if err != nil {
+			opErr = fmt.Errorf("engine: %w", err)
+			break
+		}
 		if op.Retract {
 			t, err := rel.Delete(op.ID)
 			if err != nil {
@@ -184,20 +192,30 @@ func (e *Engine) applyDeltaLocked(ops []DeltaOp, walOps *[]wal.Op, rec *opRecord
 			delta.AddDelete(op.Class, op.ID, t)
 			continue
 		}
-		id, err := rel.Insert(op.Tuple)
-		if err != nil {
+		// Extend the run of assertions targeting the same class.
+		j := i + 1
+		for j < len(ops) && !ops[j].Retract && ops[j].Class == op.Class {
+			j++
+		}
+		entries := make([]relation.DeltaEntry, j-i)
+		for k := i; k < j; k++ {
+			entries[k-i] = relation.DeltaEntry{Tuple: ops[k].Tuple}
+		}
+		if err := rel.InsertBatch(entries); err != nil {
 			opErr = err
 			break
 		}
-		ids[i] = id
-		stored, _ := rel.Get(id)
-		e.stats.Inc(metrics.Counter("updates_" + op.Class))
-		rec.undo = append(rec.undo, undoOp{retract: true, class: op.Class, id: id})
-		if e.wal != nil {
-			*walOps = append(*walOps, wal.Op{Class: op.Class, ID: id, Tuple: stored})
+		for k, ent := range entries {
+			ids[i+k] = ent.ID
+			e.stats.Inc(metrics.Counter("updates_" + op.Class))
+			rec.undo = append(rec.undo, undoOp{retract: true, class: op.Class, id: ent.ID})
+			if e.wal != nil {
+				*walOps = append(*walOps, wal.Op{Class: op.Class, ID: ent.ID, Tuple: ent.Tuple})
+			}
+			inserted[born{op.Class, ent.ID}] = true
+			delta.AddInsert(op.Class, ent.ID, ent.Tuple)
 		}
-		inserted[born{op.Class, id}] = true
-		delta.AddInsert(op.Class, id, stored)
+		i = j - 1
 	}
 
 	for _, class := range delta.Classes() {

@@ -467,7 +467,11 @@ func (e *Engine) Assert(class string, t relation.Tuple) (relation.TupleID, error
 		return id, err
 	}
 	if e.wal != nil {
-		stored, _ := e.db.MustGet(class).Get(id)
+		rel, lerr := e.db.Lookup(class)
+		if lerr != nil {
+			return id, fmt.Errorf("engine: %w", lerr)
+		}
+		stored, _ := rel.Get(id)
 		if lerr := e.logBatchLocked([]wal.Op{{Class: class, ID: id, Tuple: stored}}); lerr != nil {
 			return id, lerr
 		}
@@ -641,7 +645,10 @@ func (e *Engine) applyActions(in *conflict.Instantiation, lockedMu bool, rec *op
 			ceIdx := act.CE - 1
 			id := in.TupleIDs[ceIdx]
 			class := in.Rule.CEs[ceIdx].Class
-			rel := e.db.MustGet(class)
+			rel, err := e.db.Lookup(class)
+			if err != nil {
+				return halted, fmt.Errorf("rule %s modify: %w", in.Rule.Name, err)
+			}
 			old, ok := rel.Get(id)
 			if !ok {
 				continue
@@ -927,7 +934,11 @@ func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) (err er
 			}
 			continue
 		}
-		cur, ok := e.db.MustGet(ce.Class).Get(in.TupleIDs[i])
+		var cur relation.Tuple
+		ok := false
+		if rel, lerr := e.db.Lookup(ce.Class); lerr == nil {
+			cur, ok = rel.Get(in.TupleIDs[i])
+		}
 		if !ok || !cur.Equal(in.Tuples[i]) {
 			commit()
 			e.stats.Inc(metrics.TxnAborts)
@@ -1132,7 +1143,10 @@ func (e *Engine) RunConcurrentContext(ctx context.Context) (Result, error) {
 func (e *Engine) SnapshotWM() string {
 	var lines []string
 	for _, name := range e.db.Names() {
-		rel := e.db.MustGet(name)
+		rel, err := e.db.Lookup(name)
+		if err != nil {
+			continue // dropped since Names() was taken
+		}
 		rel.Scan(func(_ relation.TupleID, t relation.Tuple) bool {
 			lines = append(lines, name+t.String())
 			return true

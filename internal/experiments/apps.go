@@ -165,12 +165,20 @@ func E10ViewMaintenance(updates int) Table {
 					}
 					id := ids[0]
 					live[op.Class] = ids[1:]
-					tup, _ := db.MustGet(op.Class).Delete(id)
+					rel, err := db.Lookup(op.Class)
+					if err != nil {
+						panic(err)
+					}
+					tup, _ := rel.Delete(id)
 					mgr.Delete(op.Class, id, tup)
 					continue
 				}
-				id, _ := db.MustGet(op.Class).Insert(op.Tuple)
-				tup, _ := db.MustGet(op.Class).Get(id)
+				rel, err := db.Lookup(op.Class)
+				if err != nil {
+					panic(err)
+				}
+				id, _ := rel.Insert(op.Tuple)
+				tup, _ := rel.Get(id)
 				mgr.Insert(op.Class, id, tup)
 				live[op.Class] = append(live[op.Class], id)
 			}
@@ -208,9 +216,17 @@ func E10ViewMaintenance(updates int) Table {
 					}
 					id := ids[0]
 					live[op.Class] = ids[1:]
-					db.MustGet(op.Class).Delete(id)
+					rel, err := db.Lookup(op.Class)
+					if err != nil {
+						panic(err)
+					}
+					rel.Delete(id)
 				} else {
-					id, _ := db.MustGet(op.Class).Insert(op.Tuple)
+					rel, err := db.Lookup(op.Class)
+					if err != nil {
+						panic(err)
+					}
+					id, _ := rel.Insert(op.Tuple)
 					live[op.Class] = append(live[op.Class], id)
 				}
 				rowCount = 0

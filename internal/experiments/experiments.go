@@ -147,7 +147,10 @@ func mustSessionOpts(src string, opts ...core.Option) *session {
 
 // insert stores the tuple in WM and notifies the matcher.
 func (s *session) insert(class string, t relation.Tuple) relation.TupleID {
-	rel := s.db.MustGet(class)
+	rel, err := s.db.Lookup(class)
+	if err != nil {
+		panic(err)
+	}
 	id, err := rel.Insert(t)
 	if err != nil {
 		panic(err)
@@ -177,7 +180,10 @@ func (s *session) deleteOldest(class string) {
 	}
 	id := ids[0]
 	s.live[class] = ids[1:]
-	rel := s.db.MustGet(class)
+	rel, err := s.db.Lookup(class)
+	if err != nil {
+		panic(err)
+	}
 	t, err := rel.Delete(id)
 	if err != nil {
 		panic(err)

@@ -125,7 +125,9 @@ func E3Space(ruleCounts []int, ops int) Table {
 			s.apply(stream)
 			wm = 0
 			for _, name := range s.db.Names() {
-				wm += s.db.MustGet(name).Len()
+				if rel, err := s.db.Lookup(name); err == nil {
+					wm += rel.Len()
+				}
 			}
 			var stored int
 			var what string

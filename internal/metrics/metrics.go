@@ -21,12 +21,15 @@ type Counter string
 // The counters used across the matchers and executors.
 const (
 	// Storage-engine level.
-	TuplesInserted Counter = "tuples_inserted"
-	TuplesDeleted  Counter = "tuples_deleted"
-	TuplesScanned  Counter = "tuples_scanned"
-	IndexLookups   Counter = "index_lookups"
-	PagesRead      Counter = "pages_read" // simulated I/O
-	PagesWritten   Counter = "pages_written"
+	TuplesInserted   Counter = "tuples_inserted"
+	TuplesDeleted    Counter = "tuples_deleted"
+	TuplesScanned    Counter = "tuples_scanned"
+	IndexLookups     Counter = "index_lookups"      // hash-index equality probes
+	IndexRangeProbes Counter = "index_range_probes" // ordered-index range probes
+	InternHits       Counter = "intern_hits"        // string payloads deduplicated at insert
+	BatchInserts     Counter = "batch_inserts"      // bulk InsertBatch calls
+	PagesRead        Counter = "pages_read"         // simulated I/O
+	PagesWritten     Counter = "pages_written"
 
 	// Match-network level.
 	NodeActivations  Counter = "node_activations"

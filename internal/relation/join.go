@@ -26,20 +26,14 @@ type JoinPair struct {
 
 // JoinProbe finds all tuples of rel joining with the single tuple t under
 // conds (t plays the left role), optionally pre-filtered by restrictions
-// on rel. An equality join condition with an index on rel is used as the
-// access path when available; otherwise rel is scanned. This is the
-// "degenerate selection" of §4.1: a two-way join against a single new WM
-// element reduces to a selection on the other relation.
+// on rel. The access path prefers an equality join condition with a hash
+// index on rel, then an inequality join condition with an ordered index,
+// then an indexed restriction on rel itself; only when no index applies
+// is rel scanned. This is the "degenerate selection" of §4.1: a two-way
+// join against a single new WM element reduces to a selection on the
+// other relation.
 func JoinProbe(t Tuple, rel *Relation, conds []JoinCond, rs []Restriction) []TupleID {
 	rel.stats.Inc(metrics.JoinsComputed)
-	// Access path: equality join condition with an index on the right.
-	probe := -1
-	for i, jc := range conds {
-		if jc.Op == value.OpEq && rel.HasIndex(jc.RightPos) {
-			probe = i
-			break
-		}
-	}
 	check := func(id TupleID, u Tuple) bool {
 		if !SatisfiesAll(u, rs) {
 			return false
@@ -51,10 +45,9 @@ func JoinProbe(t Tuple, rel *Relation, conds []JoinCond, rs []Restriction) []Tup
 		}
 		return true
 	}
-	var out []TupleID
-	if probe >= 0 {
-		jc := conds[probe]
-		for _, id := range rel.SelectEq(jc.RightPos, t[jc.LeftPos]) {
+	filter := func(candidates []TupleID) []TupleID {
+		var out []TupleID
+		for _, id := range candidates {
 			u, ok := rel.Get(id)
 			if !ok {
 				continue
@@ -66,6 +59,31 @@ func JoinProbe(t Tuple, rel *Relation, conds []JoinCond, rs []Restriction) []Tup
 		}
 		return out
 	}
+	// First choice: equality join condition with an index on the right.
+	for _, jc := range conds {
+		if jc.Op == value.OpEq && rel.HasIndex(jc.RightPos) {
+			return filter(rel.SelectEq(jc.RightPos, t[jc.LeftPos]))
+		}
+	}
+	// Second choice: inequality join condition probed through the
+	// ordered index. "t[L] op u[R]" constrains u[R] by the flipped
+	// operator against the known left value.
+	for _, jc := range conds {
+		if !rel.HasIndex(jc.RightPos) {
+			continue
+		}
+		if b, ok := RangeFor(jc.Op.Flip(), t[jc.LeftPos]); ok {
+			return filter(rel.SelectRange(jc.RightPos, b))
+		}
+	}
+	// Third choice: an indexed restriction on rel narrows the
+	// candidates before the join conditions are checked.
+	for _, c := range rs {
+		if c.Op == value.OpEq && rel.HasIndex(c.Pos) {
+			return filter(rel.SelectEq(c.Pos, c.Val))
+		}
+	}
+	var out []TupleID
 	rel.Scan(func(id TupleID, u Tuple) bool {
 		if check(id, u) {
 			out = append(out, id)

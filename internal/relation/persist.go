@@ -219,31 +219,23 @@ func (db *DB) parseDump(r io.Reader) ([]RestoredTuple, error) {
 }
 
 // insertWithID stores a tuple under a specific ID (restore and recovery
-// paths only).
+// paths only). It works against any storage backend: the Store contract
+// accepts out-of-order IDs, and the relation's ID counter is raised so
+// future inserts never collide with restored tuples.
 func (r *Relation) insertWithID(id TupleID, t Tuple) error {
 	if len(t) != r.schema.Arity() {
 		return fmt.Errorf("relation %s: arity mismatch", r.Name())
 	}
 	ct := t.Clone()
+	r.internTuple(ct)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.tuples[id]; dup {
+	if _, dup := r.store.Get(id); dup {
 		return fmt.Errorf("relation %s: duplicate tuple id %d", r.Name(), id)
 	}
-	r.tuples[id] = ct
-	// Keep the id slice sorted.
-	i := len(r.ids)
-	for i > 0 && r.ids[i-1] > id {
-		i--
-	}
-	r.ids = append(r.ids, 0)
-	copy(r.ids[i+1:], r.ids[i:])
-	r.ids[i] = id
+	r.store.Insert(id, ct)
 	if id > r.next {
 		r.next = id
-	}
-	for pos, ix := range r.indexes {
-		ix.add(ct[pos], id)
 	}
 	return nil
 }

@@ -27,63 +27,43 @@ type TupleID uint64
 // I/O accounting.
 const DefaultPageSize = 32
 
-// Relation is a stored relation: a bag of tuples addressable by TupleID,
-// with optional per-attribute hash indexes. All methods are safe for
-// concurrent use.
+// Relation is a stored relation: a bag of tuples addressable by TupleID.
+// Tuple storage and secondary indexes live behind the pluggable Store
+// interface; Relation layers concurrency control, ID assignment, value
+// interning, tuple cloning, and simulated I/O accounting on top. All
+// methods are safe for concurrent use.
 type Relation struct {
 	schema   *Schema
 	pageSize int
 	stats    *metrics.Set
+	intern   *internTable
 
-	mu      sync.RWMutex
-	tuples  map[TupleID]Tuple
-	ids     []TupleID // maintained sorted ascending
-	indexes map[int]*hashIndex
-	next    TupleID
+	mu    sync.RWMutex
+	store Store
+	next  TupleID
 }
 
-// hashIndex maps a normalized attribute value to the set of tuple IDs
-// carrying it.
-type hashIndex struct {
-	entries map[value.V]map[TupleID]struct{}
-}
-
-func newHashIndex() *hashIndex {
-	return &hashIndex{entries: make(map[value.V]map[TupleID]struct{})}
-}
-
-func (ix *hashIndex) add(v value.V, id TupleID) {
-	k := v.Key()
-	set := ix.entries[k]
-	if set == nil {
-		set = make(map[TupleID]struct{})
-		ix.entries[k] = set
-	}
-	set[id] = struct{}{}
-}
-
-func (ix *hashIndex) remove(v value.V, id TupleID) {
-	k := v.Key()
-	if set := ix.entries[k]; set != nil {
-		delete(set, id)
-		if len(set) == 0 {
-			delete(ix.entries, k)
-		}
-	}
-}
-
-func (ix *hashIndex) lookup(v value.V) map[TupleID]struct{} {
-	return ix.entries[v.Key()]
-}
-
-// New creates an empty relation over schema. stats may be nil.
+// New creates an empty relation over schema with the row storage
+// backend. stats may be nil.
 func New(schema *Schema, stats *metrics.Set) *Relation {
+	return NewWithStorage(schema, stats, StorageRow)
+}
+
+// NewWithStorage creates an empty relation served by the given storage
+// backend. stats may be nil.
+func NewWithStorage(schema *Schema, stats *metrics.Set, kind StorageKind) *Relation {
+	return newRelation(schema, stats, kind, newInternTable())
+}
+
+// newRelation wires a relation to a (possibly catalog-shared) intern
+// table.
+func newRelation(schema *Schema, stats *metrics.Set, kind StorageKind, intern *internTable) *Relation {
 	return &Relation{
 		schema:   schema,
 		pageSize: DefaultPageSize,
 		stats:    stats,
-		tuples:   make(map[TupleID]Tuple),
-		indexes:  make(map[int]*hashIndex),
+		intern:   intern,
+		store:    newStore(kind, schema.Arity()),
 	}
 }
 
@@ -93,14 +73,39 @@ func (r *Relation) Schema() *Schema { return r.schema }
 // Name returns the relation name.
 func (r *Relation) Name() string { return r.schema.Name() }
 
-// Len returns the current tuple count.
+// Storage reports the backend serving this relation.
+func (r *Relation) Storage() StorageKind {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.store.Kind()
+}
+
+// Len returns the current live tuple count. The count moves only under
+// Insert/Delete/Clear; it is exact, never an estimate, regardless of
+// backend.
 func (r *Relation) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.tuples)
+	return r.store.Len()
 }
 
-// CreateIndex builds (idempotently) a hash index on the attribute at
+// Stats snapshots the relation's storage shape: backend, cardinality,
+// and per-index distinct key counts — the selectivity inputs a
+// cost-based planner consumes.
+func (r *Relation) Stats() StoreStats {
+	r.mu.RLock()
+	st := r.store.Stats()
+	r.mu.RUnlock()
+	for i := range st.Indexes {
+		if p := st.Indexes[i].Pos; p >= 0 && p < r.schema.Arity() {
+			st.Indexes[i].Attr = r.schema.Attrs()[p]
+		}
+	}
+	return st
+}
+
+// CreateIndex builds (idempotently) secondary indexes — hash for
+// equality probes, ordered for range probes — on the attribute at
 // position pos.
 func (r *Relation) CreateIndex(pos int) error {
 	if pos < 0 || pos >= r.schema.Arity() {
@@ -108,14 +113,7 @@ func (r *Relation) CreateIndex(pos int) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, exists := r.indexes[pos]; exists {
-		return nil
-	}
-	ix := newHashIndex()
-	for id, t := range r.tuples {
-		ix.add(t[pos], id)
-	}
-	r.indexes[pos] = ix
+	r.store.CreateIndex(pos)
 	return nil
 }
 
@@ -123,8 +121,23 @@ func (r *Relation) CreateIndex(pos int) error {
 func (r *Relation) HasIndex(pos int) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	_, ok := r.indexes[pos]
-	return ok
+	return r.store.HasIndex(pos)
+}
+
+// internTuple canonicalizes the string payloads of a freshly cloned
+// tuple in place, so equal stored strings share one backing array and
+// the comparison hot path short-circuits on pointers.
+func (r *Relation) internTuple(t Tuple) {
+	if r.intern == nil {
+		return
+	}
+	for i, v := range t {
+		iv, hit := r.intern.val(v)
+		t[i] = iv
+		if hit {
+			r.stats.Inc(metrics.InternHits)
+		}
+	}
 }
 
 // Insert stores tuple t and returns its new ID. The tuple is cloned, so
@@ -135,25 +148,58 @@ func (r *Relation) Insert(t Tuple) (TupleID, error) {
 			r.Name(), ErrArity, len(t), r.schema.Arity())
 	}
 	ct := t.Clone()
+	r.internTuple(ct)
 	r.mu.Lock()
 	r.next++
 	id := r.next
-	r.tuples[id] = ct
-	r.ids = append(r.ids, id) // ids are assigned in increasing order, so the slice stays sorted
-	for pos, ix := range r.indexes {
-		ix.add(ct[pos], id)
-	}
+	r.store.Insert(id, ct)
 	r.mu.Unlock()
 	r.stats.Inc(metrics.TuplesInserted)
 	r.stats.Inc(metrics.PagesWritten)
 	return id, nil
 }
 
+// InsertBatch stores the tuples of entries in one storage operation,
+// assigning ascending IDs which are written back into the entries —
+// the set-oriented append path of ApplyDelta. Entry tuples are cloned.
+func (r *Relation) InsertBatch(entries []DeltaEntry) error {
+	for _, e := range entries {
+		if len(e.Tuple) != r.schema.Arity() {
+			return fmt.Errorf("relation %s: %w: tuple has %d values, schema needs %d",
+				r.Name(), ErrArity, len(e.Tuple), r.schema.Arity())
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	staged := make([]DeltaEntry, len(entries))
+	for i, e := range entries {
+		ct := e.Tuple.Clone()
+		r.internTuple(ct)
+		staged[i] = DeltaEntry{Tuple: ct}
+	}
+	r.mu.Lock()
+	for i := range staged {
+		r.next++
+		staged[i].ID = r.next
+	}
+	r.store.InsertBatch(staged)
+	r.mu.Unlock()
+	for i := range staged {
+		entries[i].ID = staged[i].ID
+		entries[i].Tuple = staged[i].Tuple
+	}
+	r.stats.Inc(metrics.BatchInserts)
+	r.stats.Add(metrics.TuplesInserted, int64(len(staged)))
+	r.stats.Add(metrics.PagesWritten, int64((len(staged)+r.pageSize-1)/r.pageSize))
+	return nil
+}
+
 // Get returns the tuple stored under id.
 func (r *Relation) Get(id TupleID) (Tuple, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	t, ok := r.tuples[id]
+	t, ok := r.store.Get(id)
+	r.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
@@ -163,45 +209,29 @@ func (r *Relation) Get(id TupleID) (Tuple, bool) {
 // Delete removes the tuple stored under id, returning the removed tuple.
 func (r *Relation) Delete(id TupleID) (Tuple, error) {
 	r.mu.Lock()
-	t, ok := r.tuples[id]
+	t, ok := r.store.Delete(id)
+	r.mu.Unlock()
 	if !ok {
-		r.mu.Unlock()
 		return nil, fmt.Errorf("relation %s: delete of unknown tuple id %d", r.Name(), id)
 	}
-	delete(r.tuples, id)
-	if i := r.findID(id); i >= 0 {
-		r.ids = append(r.ids[:i], r.ids[i+1:]...)
-	}
-	for pos, ix := range r.indexes {
-		ix.remove(t[pos], id)
-	}
-	r.mu.Unlock()
 	r.stats.Inc(metrics.TuplesDeleted)
 	r.stats.Inc(metrics.PagesWritten)
 	return t, nil
 }
 
-// findID binary-searches the sorted id slice. Caller holds mu.
-func (r *Relation) findID(id TupleID) int {
-	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
-	if i < len(r.ids) && r.ids[i] == id {
-		return i
-	}
-	return -1
-}
-
-// Scan visits every tuple in ascending TupleID order until fn returns
-// false. The visited tuples are the live ones at call time; fn must not
-// mutate the relation.
+// Scan visits every tuple in ascending TupleID order — a guarantee of
+// the Store contract, never Go map iteration order, so a scan is
+// deterministic for a given working-memory state on every backend —
+// until fn returns false. The visited tuples are the live ones at call
+// time; fn must not mutate the relation or the visited tuples.
 func (r *Relation) Scan(fn func(id TupleID, t Tuple) bool) {
 	r.mu.RLock()
-	ids := append([]TupleID(nil), r.ids...)
-	n := len(ids)
+	ids := r.store.IDs()
 	r.mu.RUnlock()
-	r.accountScan(n)
+	r.accountScan(len(ids))
 	for _, id := range ids {
 		r.mu.RLock()
-		t, ok := r.tuples[id]
+		t, ok := r.store.Get(id)
 		r.mu.RUnlock()
 		if !ok {
 			continue
@@ -222,41 +252,48 @@ func (r *Relation) accountScan(n int) {
 }
 
 // SelectEq returns the IDs of tuples whose attribute at pos equals v,
-// using a hash index when available and a scan otherwise. Results are in
-// ascending ID order.
+// probing the hash index when one exists and scanning otherwise.
+// Results are in ascending ID order.
 func (r *Relation) SelectEq(pos int, v value.V) []TupleID {
 	r.mu.RLock()
-	ix := r.indexes[pos]
-	if ix != nil {
-		set := ix.lookup(v)
-		out := make([]TupleID, 0, len(set))
-		for id := range set {
-			// Hash equality collapses Int/Float and Str/Sym the same way
-			// value.Equal does, so no re-check is needed.
-			out = append(out, id)
-		}
-		r.mu.RUnlock()
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	ids, indexed := r.store.SelectEq(pos, v)
+	n := r.store.Len()
+	r.mu.RUnlock()
+	if indexed {
 		r.stats.Inc(metrics.IndexLookups)
 		r.stats.Inc(metrics.PagesRead)
-		return out
+	} else {
+		r.stats.Add(metrics.TuplesScanned, int64(n))
+		r.accountScan(n)
 	}
-	r.mu.RUnlock()
-	var out []TupleID
-	r.Scan(func(id TupleID, t Tuple) bool {
-		if value.Equal(t[pos], v) {
-			out = append(out, id)
-		}
-		return true
-	})
-	return out
+	return ids
 }
 
-// Select returns IDs of tuples satisfying every restriction. When an
-// equality restriction has an index the engine probes it and filters;
-// otherwise it scans.
+// SelectRange returns the IDs of tuples whose attribute at pos lies
+// within b, probing the ordered index when one exists and scanning
+// otherwise. Results are in ascending ID order.
+func (r *Relation) SelectRange(pos int, b Bounds) []TupleID {
+	r.mu.RLock()
+	ids, indexed := r.store.SelectRange(pos, b)
+	n := r.store.Len()
+	r.mu.RUnlock()
+	if indexed {
+		r.stats.Inc(metrics.IndexRangeProbes)
+		r.stats.Inc(metrics.PagesRead)
+	} else {
+		r.stats.Add(metrics.TuplesScanned, int64(n))
+		r.accountScan(n)
+	}
+	return ids
+}
+
+// Select returns IDs of tuples satisfying every restriction. The access
+// path is chosen in order of selectivity: an indexed equality
+// restriction is probed via the hash index; failing that, the indexed
+// range restrictions on one attribute are merged and probed via the
+// ordered index; otherwise the relation is scanned.
 func (r *Relation) Select(rs []Restriction) []TupleID {
-	// Pick an indexed equality restriction as the access path.
+	// First choice: indexed equality probe.
 	probe := -1
 	for i, c := range rs {
 		if c.Op == value.OpEq && r.HasIndex(c.Pos) {
@@ -264,26 +301,52 @@ func (r *Relation) Select(rs []Restriction) []TupleID {
 			break
 		}
 	}
-	var out []TupleID
-	if probe >= 0 {
-		for _, id := range r.SelectEq(rs[probe].Pos, rs[probe].Val) {
-			t, ok := r.Get(id)
-			if !ok {
+	var candidates []TupleID
+	switch {
+	case probe >= 0:
+		candidates = r.SelectEq(rs[probe].Pos, rs[probe].Val)
+	default:
+		// Second choice: ordered-index range probe, merging every range
+		// restriction on the chosen attribute (e.g. lo < salary < hi).
+		rangePos := -1
+		var rb Bounds
+		for _, c := range rs {
+			b, ok := RangeFor(c.Op, c.Val)
+			if !ok || !r.HasIndex(c.Pos) {
 				continue
 			}
-			r.stats.Inc(metrics.TuplesScanned)
-			if SatisfiesAll(t, rs) {
-				out = append(out, id)
+			if rangePos < 0 {
+				rangePos, rb = c.Pos, b
+			} else if c.Pos == rangePos {
+				rb = rb.And(b)
 			}
 		}
-		return out
+		if rangePos < 0 {
+			// Last resort: full scan.
+			var out []TupleID
+			r.Scan(func(id TupleID, t Tuple) bool {
+				if SatisfiesAll(t, rs) {
+					out = append(out, id)
+				}
+				return true
+			})
+			return out
+		}
+		candidates = r.SelectRange(rangePos, rb)
 	}
-	r.Scan(func(id TupleID, t Tuple) bool {
+	var out []TupleID
+	for _, id := range candidates {
+		r.mu.RLock()
+		t, ok := r.store.Get(id)
+		r.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		r.stats.Inc(metrics.TuplesScanned)
 		if SatisfiesAll(t, rs) {
 			out = append(out, id)
 		}
-		return true
-	})
+	}
 	return out
 }
 
@@ -298,9 +361,11 @@ func (r *Relation) SelectTuples(rs []Restriction) (ids []TupleID, tuples []Tuple
 	return ids, tuples
 }
 
-// FindEqual returns the ID of some live tuple value-equal to t, for
-// delete-by-value semantics (OPS5 remove addresses the matched element;
-// the DBMS translation deletes an equal tuple).
+// FindEqual returns the ID of the oldest live tuple value-equal to t,
+// for delete-by-value semantics (OPS5 remove addresses the matched
+// element; the DBMS translation deletes an equal tuple). "Oldest" is
+// well-defined because Scan order is ascending TupleID on every
+// backend.
 func (r *Relation) FindEqual(t Tuple) (TupleID, bool) {
 	var found TupleID
 	ok := false
@@ -318,29 +383,87 @@ func (r *Relation) FindEqual(t Tuple) (TupleID, bool) {
 func (r *Relation) Clear() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.tuples = make(map[TupleID]Tuple)
-	r.ids = nil
-	for pos := range r.indexes {
-		r.indexes[pos] = newHashIndex()
-	}
+	r.store.Clear()
 }
 
-// DB is a catalog of relations sharing one metrics set.
+// DB is a catalog of relations sharing one metrics set, one
+// value-interning table, and a storage-backend configuration.
 type DB struct {
-	mu    sync.RWMutex
-	rels  map[string]*Relation
-	stats *metrics.Set
+	mu      sync.RWMutex
+	rels    map[string]*Relation
+	stats   *metrics.Set
+	def     StorageKind
+	byClass map[string]StorageKind
+	intern  *internTable
 }
 
-// NewDB creates an empty catalog. stats may be nil.
+// NewDB creates an empty catalog whose relations default to
+// DefaultStorageKind() (StorageRow unless overridden by the
+// PRODSYS_STORAGE environment variable). stats may be nil.
 func NewDB(stats *metrics.Set) *DB {
-	return &DB{rels: make(map[string]*Relation), stats: stats}
+	return &DB{
+		rels:    make(map[string]*Relation),
+		stats:   stats,
+		def:     DefaultStorageKind(),
+		byClass: make(map[string]StorageKind),
+		intern:  newInternTable(),
+	}
 }
 
 // Stats returns the catalog's metrics set.
 func (db *DB) Stats() *metrics.Set { return db.stats }
 
-// Create adds a new relation; it is an error if the name exists.
+// InternHits returns the number of string payloads the catalog's
+// interning cache has deduplicated.
+func (db *DB) InternHits() int64 { return db.intern.Hits() }
+
+// SetDefaultStorage selects the backend for relations created from now
+// on; the empty kind resets to the process default. Existing relations
+// are unaffected.
+func (db *DB) SetDefaultStorage(kind StorageKind) error {
+	k, err := ParseStorage(string(kind))
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.def = k
+	return nil
+}
+
+// SetClassStorage overrides the backend for one future relation by
+// name. It is an error if the relation already exists.
+func (db *DB) SetClassStorage(name string, kind StorageKind) error {
+	k, err := ParseStorage(string(kind))
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.rels[name]; exists {
+		return fmt.Errorf("relation %s already exists", name)
+	}
+	db.byClass[name] = k
+	return nil
+}
+
+// StorageFor reports the backend a relation of the given name has (when
+// live) or would be created with.
+func (db *DB) StorageFor(name string) StorageKind {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if r, ok := db.rels[name]; ok {
+		return r.store.Kind()
+	}
+	if k, ok := db.byClass[name]; ok {
+		return k
+	}
+	return db.def
+}
+
+// Create adds a new relation; it is an error if the name exists. The
+// backend is the per-class override when one is set, the catalog
+// default otherwise.
 func (db *DB) Create(name string, attrs ...string) (*Relation, error) {
 	schema, err := NewSchema(name, attrs...)
 	if err != nil {
@@ -351,7 +474,11 @@ func (db *DB) Create(name string, attrs ...string) (*Relation, error) {
 	if _, dup := db.rels[name]; dup {
 		return nil, fmt.Errorf("relation %s already exists", name)
 	}
-	r := New(schema, db.stats)
+	kind := db.def
+	if k, ok := db.byClass[name]; ok {
+		kind = k
+	}
+	r := newRelation(schema, db.stats, kind, db.intern)
 	db.rels[name] = r
 	return r, nil
 }

@@ -6,6 +6,9 @@ package prodsys
 
 import (
 	"context"
+	"fmt"
+	"sort"
+	"strings"
 
 	"prodsys/internal/trace"
 )
@@ -72,14 +75,45 @@ func (s *System) Trace(opts TraceOptions) *Tracer {
 // until the system is loaded, disabled until Trace is called.
 func (s *System) Tracer() *Tracer { return s.tracer }
 
+// IndexInfo describes one secondary index of a relation.
+type IndexInfo struct {
+	// Attr is the indexed attribute's name; Pos its position.
+	Attr string
+	Pos  int
+	// Distinct counts the distinct live key values — the selectivity
+	// input for cost-based planning.
+	Distinct int
+}
+
+// RelationStorage describes the storage serving one WM relation.
+type RelationStorage struct {
+	// Name is the WM class name.
+	Name string
+	// Backend is the storage backend serving the relation.
+	Backend Storage
+	// Tuples is the live cardinality.
+	Tuples int
+	// Indexes lists the secondary indexes in attribute-position order.
+	Indexes []IndexInfo
+}
+
 // StorageStats counts storage-engine operations.
 type StorageStats struct {
-	TuplesInserted int64
-	TuplesDeleted  int64
-	TuplesScanned  int64
-	IndexLookups   int64
-	PagesRead      int64 // simulated I/O
-	PagesWritten   int64 // simulated I/O
+	TuplesInserted   int64
+	TuplesDeleted    int64
+	TuplesScanned    int64
+	IndexLookups     int64 // hash-index equality probes
+	IndexRangeProbes int64 // ordered-index range probes
+	InternHits       int64 // string payloads deduplicated at insert
+	BatchInserts     int64 // bulk InsertBatch storage operations
+	PagesRead        int64 // simulated I/O
+	PagesWritten     int64 // simulated I/O
+
+	// Relations describes each WM relation's backend, cardinality, and
+	// indexes at snapshot time. It is a point-in-time catalog view, not
+	// a counter: Snapshot.Delta keeps the newer snapshot's value, and
+	// snapshots rebuilt from raw counter maps leave it empty.
+	Relations []RelationStorage
 }
 
 // MatchStats counts match-maintenance operations.
@@ -157,26 +191,43 @@ type Snapshot struct {
 	Counters   map[string]int64
 }
 
-// Metrics snapshots the operation counters accumulated so far.
+// Metrics snapshots the operation counters accumulated so far, plus the
+// per-relation storage description of the live catalog.
 func (s *System) Metrics() Snapshot {
 	raw := s.stats.Snapshot()
 	m := make(map[string]int64, len(raw))
 	for k, v := range raw {
 		m[string(k)] = v
 	}
-	return newSnapshot(m)
+	sn := newSnapshot(m)
+	for _, name := range s.db.Names() {
+		rel, err := s.db.Lookup(name)
+		if err != nil {
+			continue
+		}
+		st := rel.Stats()
+		rs := RelationStorage{Name: name, Backend: Storage(st.Backend), Tuples: st.Tuples}
+		for _, ix := range st.Indexes {
+			rs.Indexes = append(rs.Indexes, IndexInfo{Attr: ix.Attr, Pos: ix.Pos, Distinct: ix.Distinct})
+		}
+		sn.Storage.Relations = append(sn.Storage.Relations, rs)
+	}
+	return sn
 }
 
 // newSnapshot builds the typed sections from a raw counter map.
 func newSnapshot(m map[string]int64) Snapshot {
 	return Snapshot{
 		Storage: StorageStats{
-			TuplesInserted: m["tuples_inserted"],
-			TuplesDeleted:  m["tuples_deleted"],
-			TuplesScanned:  m["tuples_scanned"],
-			IndexLookups:   m["index_lookups"],
-			PagesRead:      m["pages_read"],
-			PagesWritten:   m["pages_written"],
+			TuplesInserted:   m["tuples_inserted"],
+			TuplesDeleted:    m["tuples_deleted"],
+			TuplesScanned:    m["tuples_scanned"],
+			IndexLookups:     m["index_lookups"],
+			IndexRangeProbes: m["index_range_probes"],
+			InternHits:       m["intern_hits"],
+			BatchInserts:     m["batch_inserts"],
+			PagesRead:        m["pages_read"],
+			PagesWritten:     m["pages_written"],
 		},
 		Match: MatchStats{
 			NodeActivations:  m["node_activations"],
@@ -236,6 +287,8 @@ func newSnapshot(m map[string]int64) Snapshot {
 // Delta returns this snapshot minus prev, counter by counter — the
 // activity between two Metrics calls. Counters keeps every key present
 // in either snapshot (zero deltas included for keys present in both).
+// Storage.Relations, a point-in-time catalog view rather than a
+// counter, is carried over from the newer snapshot unchanged.
 func (sn Snapshot) Delta(prev Snapshot) Snapshot {
 	m := make(map[string]int64, len(sn.Counters))
 	for k, v := range sn.Counters {
@@ -246,7 +299,33 @@ func (sn Snapshot) Delta(prev Snapshot) Snapshot {
 			m[k] = -v
 		}
 	}
-	return newSnapshot(m)
+	out := newSnapshot(m)
+	out.Storage.Relations = sn.Storage.Relations
+	return out
+}
+
+// String renders the snapshot for display: every raw counter in sorted
+// order, then one line per WM relation describing its storage backend,
+// cardinality, and indexes (when the snapshot carries the catalog
+// view). This replaces formatting the deprecated Stats() map.
+func (sn Snapshot) String() string {
+	keys := make([]string, 0, len(sn.Counters))
+	for k := range sn.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-24s %d\n", k, sn.Counters[k])
+	}
+	for _, rs := range sn.Storage.Relations {
+		fmt.Fprintf(&b, "storage/%-16s backend=%s tuples=%d", rs.Name, rs.Backend, rs.Tuples)
+		for _, ix := range rs.Indexes {
+			fmt.Fprintf(&b, " ix(%s)=%d", ix.Attr, ix.Distinct)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // RunContext is Run honoring ctx: cancellation is observed between

@@ -103,6 +103,31 @@ func Strategies() []Strategy {
 	return []Strategy{StrategyFIFO, StrategyLEX, StrategyPriority, StrategyRandom}
 }
 
+// Storage selects the tuple storage backend serving working memory.
+type Storage string
+
+// The available storage backends.
+const (
+	// StorageRow is the row-major backend: a TupleID-keyed map with
+	// hash+ordered secondary indexes — best for tuple-at-a-time updates
+	// and point access (default).
+	StorageRow Storage = Storage(relation.StorageRow)
+	// StorageColumnar is the column-major backend: per-attribute value
+	// arrays with bulk appends, optimized for set-oriented Batch /
+	// ApplyDelta maintenance.
+	StorageColumnar Storage = Storage(relation.StorageColumnar)
+)
+
+// Storages lists every available storage backend.
+func Storages() []Storage {
+	kinds := relation.StorageKinds()
+	out := make([]Storage, len(kinds))
+	for i, k := range kinds {
+		out[i] = Storage(k)
+	}
+	return out
+}
+
 // Sentinel errors; returned errors wrap these, test with errors.Is.
 var (
 	// ErrUnknownClass marks an operation naming an undeclared WM class.
@@ -111,6 +136,8 @@ var (
 	ErrUnknownMatcher = errors.New("unknown matcher")
 	// ErrUnknownStrategy marks an Options.Strategy not in Strategies().
 	ErrUnknownStrategy = errors.New("unknown strategy")
+	// ErrUnknownStorage marks an Options.Storage not in Storages().
+	ErrUnknownStorage = relation.ErrUnknownStorage
 	// ErrArity marks an Assert with more values than the class has
 	// attributes.
 	ErrArity = relation.ErrArity
@@ -125,6 +152,13 @@ type Options struct {
 	Strategy Strategy
 	// Seed seeds the random strategy.
 	Seed int64
+	// Storage selects the tuple storage backend serving every WM class;
+	// default StorageRow (or the PRODSYS_STORAGE environment variable
+	// when set to a valid backend).
+	Storage Storage
+	// StorageByClass overrides the storage backend for individual WM
+	// classes, keyed by class name; classes not listed use Storage.
+	StorageByClass map[string]Storage
 	// Workers sizes the concurrent executor pool (default 4).
 	Workers int
 	// MaxFirings caps rule firings (default 10000).
@@ -209,6 +243,14 @@ func Load(src string, opts Options) (*System, error) {
 	}
 	stats := &metrics.Set{}
 	db := relation.NewDB(stats)
+	if err := db.SetDefaultStorage(relation.StorageKind(opts.Storage)); err != nil {
+		return nil, fmt.Errorf("prodsys: %w", err)
+	}
+	for class, k := range opts.StorageByClass {
+		if err := db.SetClassStorage(class, relation.StorageKind(k)); err != nil {
+			return nil, fmt.Errorf("prodsys: %w", err)
+		}
+	}
 	if err := rules.BuildDB(set, db); err != nil {
 		return nil, err
 	}
