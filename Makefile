@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-storage bench bench-storage check fmt fuzz-short trace-demo crash-demo audit-demo
+.PHONY: build test test-storage bench bench-storage bench-planner check fmt fuzz-short trace-demo crash-demo audit-demo
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ bench:
 # printing the table and writing the results to BENCH_6.json.
 bench-storage:
 	$(GO) run ./cmd/psbench -storage-bench BENCH_6.json
+
+# bench-planner runs the join-planner benchmark — fixed vs cost-based
+# order on the chain and payroll workloads through core and requery,
+# with plan-cache hit rates — printing the table and writing the
+# results to BENCH_7.json.
+bench-planner:
+	$(GO) run ./cmd/psbench -planner-bench BENCH_7.json
 
 # check is the extended verification: static analysis, formatting, and
 # the full test suite under the race detector. staticcheck runs when

@@ -129,6 +129,22 @@ func storageBench(path string, ruleCount, nOps int) error {
 	return nil
 }
 
+// plannerBench runs the join-planner benchmark and writes the results
+// to path as JSON, printing the aligned table to stdout.
+func plannerBench(path string, scale float64) error {
+	rows := experiments.PlannerBench(scale)
+	fmt.Print(experiments.PlannerTable(rows).String())
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nplanner benchmark written to %s\n", path)
+	return nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (0 < scale ≤ 1 for quicker runs)")
 	exps := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
@@ -139,7 +155,16 @@ func main() {
 	storageOut := flag.String("storage-bench", "", "run the storage benchmark and write JSON results to this path")
 	storageRules := flag.Int("storage-rules", 50, "rule count for the storage benchmark")
 	storageOps := flag.Int("storage-ops", 1500, "operation count for the storage benchmark")
+	plannerOut := flag.String("planner-bench", "", "run the join-planner benchmark and write JSON results to this path")
 	flag.Parse()
+
+	if *plannerOut != "" {
+		if err := plannerBench(*plannerOut, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *storageOut != "" {
 		if err := storageBench(*storageOut, *storageRules, *storageOps); err != nil {

@@ -49,6 +49,8 @@ func main() {
 	showWM := flag.Bool("wm", true, "print final working memory")
 	showCS := flag.Bool("conflict", false, "print the final conflict set")
 	showStats := flag.Bool("stats", false, "print operation counters")
+	explain := flag.Bool("explain", false, "print each rule's join plans: access path, join position, estimated vs actual cardinality per condition element")
+	plannerMode := flag.String("planner", "cost", "join planner: cost|fixed")
 	loadWM := flag.String("load", "", "restore working memory from a dump file before running")
 	saveWM := flag.String("save", "", "dump working memory to a file after running")
 	traceOut := flag.String("trace", "", "record execution events and export them to this file")
@@ -86,6 +88,7 @@ func main() {
 		Strategy:           prodsys.Strategy(*strategy),
 		Storage:            prodsys.Storage(*storage),
 		StorageByClass:     perClass,
+		Planner:            prodsys.Planner(*plannerMode),
 		Seed:               *seed,
 		Workers:            *workers,
 		MaxFirings:         *max,
@@ -199,6 +202,21 @@ func main() {
 	if *showStats {
 		fmt.Println("; statistics:")
 		fmt.Print(sys.Metrics().String())
+	}
+	if *explain {
+		fmt.Println("; join plans:")
+		for _, rule := range sys.RuleNames() {
+			plans, err := sys.Plans(rule)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "psdb:", err)
+				os.Exit(1)
+			}
+			for _, p := range plans {
+				for _, line := range strings.Split(strings.TrimRight(p.String(), "\n"), "\n") {
+					fmt.Println(";", line)
+				}
+			}
+		}
 	}
 	if tracer != nil {
 		tracer.Stop()

@@ -103,5 +103,5 @@ func main() {
 		fmt.Println("   ", row)
 	}
 	fmt.Println("\nexecution statistics (concurrent run):")
-	fmt.Print(prodsys.FormatStats(conc.Stats(), "txn_", "lock", "serial_ops", "rule_"))
+	fmt.Print(prodsys.FormatStats(conc.Metrics().Counters, "txn_", "lock", "serial_ops", "rule_"))
 }

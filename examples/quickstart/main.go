@@ -49,5 +49,5 @@ func main() {
 	fmt.Println(sys.WM())
 
 	fmt.Println("\nmatch statistics:")
-	fmt.Print(prodsys.FormatStats(sys.Stats(), "pattern", "rule_", "tuples_"))
+	fmt.Print(prodsys.FormatStats(sys.Metrics().Counters, "pattern", "rule_", "tuples_"))
 }

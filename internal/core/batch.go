@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"prodsys/internal/conflict"
-	"prodsys/internal/joiner"
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
@@ -302,7 +301,7 @@ func (m *Matcher) DeleteBatch(class string, entries []relation.DeltaEntry) error
 		seen[ce.Rule] = true
 		var found int64
 		t0 := m.tr.Now()
-		joiner.Enumerate(m.db, ce.Rule, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+		m.pl.Enumerate(m.db, ce.Rule, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 			found++
 			m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 		})

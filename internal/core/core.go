@@ -116,6 +116,7 @@ type Matcher struct {
 	parallel bool
 	ioDelay  time.Duration
 	tr       *trace.Tracer
+	pl       *joiner.Planner
 
 	// contributors[ce] lists the indices of the other positive condition
 	// elements of ce's rule that can deliver a matching pattern to ce's
@@ -236,6 +237,10 @@ func positiveSharers(r *rules.Rule, i int) []int {
 // joins and pattern propagations are emitted as trace events.
 func (m *Matcher) SetTracer(tr *trace.Tracer) { m.tr = tr }
 
+// SetPlanner implements match.Planned: verification joins and negated
+// re-derivations run under the planner's cost-based join order.
+func (m *Matcher) SetPlanner(p *joiner.Planner) { m.pl = p }
+
 // Name implements match.Matcher.
 func (m *Matcher) Name() string {
 	if m.parallel {
@@ -316,7 +321,7 @@ func (m *Matcher) verifyAndEmit(ce *rules.CE, id relation.TupleID, t relation.Tu
 	var found int64
 	t0 := m.tr.Now()
 	fixed := map[int]joiner.Fixed{ce.Index: {ID: id, Tuple: t}}
-	joiner.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+	m.pl.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 		found++
 		m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 	})
@@ -511,7 +516,7 @@ func (m *Matcher) Delete(class string, id relation.TupleID, _ relation.Tuple) er
 		seen[ce.Rule] = true
 		var found int64
 		t0 := m.tr.Now()
-		joiner.Enumerate(m.db, ce.Rule, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+		m.pl.Enumerate(m.db, ce.Rule, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 			found++
 			m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 		})

@@ -57,7 +57,7 @@ func capture(s *prodsys.System) snap {
 }
 
 func appends(s *prodsys.System) int {
-	return int(s.Stats()["wal_appends"])
+	return int(s.Metrics().Durability.WALAppends)
 }
 
 // drive runs the workload: each iteration commits one batch (asserts
@@ -303,7 +303,7 @@ func TestCheckpointCompactionEquivalence(t *testing.T) {
 			states := map[int]snap{}
 			drive(t, sys, 30, states)
 			final := capture(sys)
-			if n := sys.Stats()["wal_checkpoints"]; n == 0 {
+			if n := sys.Metrics().Durability.WALCheckpoints; n == 0 {
 				t.Fatal("no checkpoints taken")
 			}
 			sys.Close()

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"prodsys/internal/conflict"
+	"prodsys/internal/core"
+	"prodsys/internal/engine"
+	"prodsys/internal/joiner"
+	"prodsys/internal/match"
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+	"prodsys/internal/requery"
+	"prodsys/internal/rules"
+	"prodsys/internal/workload"
+)
+
+// PlannerResult is one (matcher, planner, workload) cell of the planner
+// benchmark: the time to drive a per-tuple insert stream through the
+// delta-match path, plus the plan-cache counters that explain it.
+// Speedup is this cell's fixed-order time over its own time (1.0 for
+// the fixed rows themselves).
+type PlannerResult struct {
+	Matcher       string  `json:"matcher"`
+	Planner       string  `json:"planner"`
+	Workload      string  `json:"workload"`
+	Rules         int     `json:"rules"`
+	Ops           int     `json:"ops"`
+	Millis        float64 `json:"ms"`
+	Speedup       float64 `json:"speedup"`
+	PlansBuilt    int64   `json:"plans_built"`
+	PlanCacheHits int64   `json:"plan_cache_hits"`
+	CacheHitRate  float64 `json:"plan_cache_hit_rate"`
+	Invalidations int64   `json:"plan_invalidations"`
+}
+
+// plannerWorkload is one benchmark stream: a rule program plus the
+// per-tuple insert ops driven through it.
+type plannerWorkload struct {
+	name  string
+	src   string
+	rules int
+	ops   []workload.Op
+}
+
+func plannerWorkloads(scale float64) []plannerWorkload {
+	chainLen := 6
+	chains := int(float64(120) * scale)
+	if chains < 4 {
+		chains = 4
+	}
+	var chainOps []workload.Op
+	for c := 0; c < chains; c++ {
+		for i := 0; i < chainLen; i++ {
+			class, tup := workload.ChainLink(c, i)
+			chainOps = append(chainOps, workload.Op{Class: class, Tuple: tup})
+		}
+	}
+	payrollRules := 50
+	payrollN := int(float64(1000) * scale)
+	if payrollN < 50 {
+		payrollN = 50
+	}
+	return []plannerWorkload{
+		{"chain", workload.ChainRules(chainLen), 1, chainOps},
+		{"payroll", workload.PayrollRules(payrollRules, false), payrollRules, workload.PayrollOps(11, payrollN, 0)},
+	}
+}
+
+// PlannerBench measures the cost-based join planner against the fixed
+// left-to-right order on the two workload shapes where order matters
+// differently: the Figure 1 chain join (order dominates — fixed order
+// rescans K0 for every arriving link, the planner starts from the
+// pinned delta and probes outward) and the payroll two-way joins
+// (order nearly irrelevant — the planner must win by not losing).
+// Matrix: {fixed, cost} × {chain, payroll} × {core, requery}.
+func PlannerBench(scale float64) []PlannerResult {
+	var out []PlannerResult
+	for _, w := range plannerWorkloads(scale) {
+		for _, matcherName := range []string{"core", "requery"} {
+			fixed := plannerRun(matcherName, "fixed", w)
+			cost := plannerRun(matcherName, "cost", w)
+			fixed.Speedup = 1
+			if cost.Millis > 0 {
+				cost.Speedup = fixed.Millis / cost.Millis
+			}
+			out = append(out, fixed, cost)
+		}
+	}
+	return out
+}
+
+func plannerRun(matcherName, planner string, w plannerWorkload) PlannerResult {
+	set, _, err := rules.CompileSource(w.src)
+	if err != nil {
+		panic(err)
+	}
+	stats := &metrics.Set{}
+	db := relation.NewDB(stats)
+	if err := rules.BuildDB(set, db); err != nil {
+		panic(err)
+	}
+	cs := conflict.NewSet(stats)
+	var m match.Matcher
+	switch matcherName {
+	case "core":
+		m = core.New(set, db, cs, stats)
+	case "requery":
+		m = requery.New(set, db, cs, stats)
+	default:
+		panic(fmt.Sprintf("experiments: unknown planner-bench matcher %q", matcherName))
+	}
+	if planner == "cost" {
+		match.AttachPlanner(m, joiner.NewPlanner(db, stats))
+	}
+	e := engine.New(set, db, m, stats, engine.Config{Out: io.Discard})
+	before := stats.Snapshot()
+	d := timeIt(func() {
+		for _, op := range w.ops {
+			if _, err := e.Assert(op.Class, op.Tuple); err != nil {
+				panic(err)
+			}
+		}
+	})
+	diff := stats.Snapshot().Diff(before)
+	built := diff[metrics.PlansBuilt]
+	hits := diff[metrics.PlanCacheHits]
+	rate := 0.0
+	if built+hits > 0 {
+		rate = float64(hits) / float64(built+hits)
+	}
+	return PlannerResult{
+		Matcher:       matcherName,
+		Planner:       planner,
+		Workload:      w.name,
+		Rules:         w.rules,
+		Ops:           len(w.ops),
+		Millis:        float64(d.Nanoseconds()) / float64(time.Millisecond),
+		PlansBuilt:    built,
+		PlanCacheHits: hits,
+		CacheHitRate:  rate,
+		Invalidations: diff[metrics.PlanInvalidations],
+	}
+}
+
+// PlannerTable renders PlannerBench results as an experiment table.
+func PlannerTable(rows []PlannerResult) Table {
+	t := Table{
+		ID:    "E15",
+		Title: "cost-based join planning: fixed vs planned order (per-tuple delta match)",
+		Columns: []string{
+			"workload", "matcher", "planner", "rules", "ops", "total ms",
+			"speedup", "plans built", "cache hits", "hit rate", "invalidations",
+		},
+		Note: "speedup is fixed-order ms over the same cell's ms; the chain workload is where order matters (fixed order rescans K0 per delta, the planner starts from the pinned tuple), payroll is the must-not-lose control",
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Workload, r.Matcher, r.Planner,
+			fmt.Sprintf("%d", r.Rules), fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%.2f", r.Millis),
+			fmt.Sprintf("%.2f", r.Speedup),
+			fmt.Sprintf("%d", r.PlansBuilt),
+			fmt.Sprintf("%d", r.PlanCacheHits),
+			fmt.Sprintf("%.3f", r.CacheHitRate),
+			fmt.Sprintf("%d", r.Invalidations),
+		})
+	}
+	return t
+}

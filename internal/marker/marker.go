@@ -63,6 +63,7 @@ type Matcher struct {
 	cs    *conflict.Set
 	stats *metrics.Set
 	tr    *trace.Tracer
+	pl    *joiner.Planner
 
 	mu sync.Mutex
 	// marks: rule identifiers set on individual data tuples.
@@ -119,6 +120,10 @@ func intervalFor(ce *rules.CE) interval {
 // wake-time re-evaluations are emitted as trace events.
 func (m *Matcher) SetTracer(tr *trace.Tracer) { m.tr = tr }
 
+// SetPlanner implements match.Planned: wake-time re-evaluations run
+// under the planner's cost-based join order.
+func (m *Matcher) SetPlanner(p *joiner.Planner) { m.pl = p }
+
 // Name implements match.Matcher.
 func (m *Matcher) Name() string { return "marker" }
 
@@ -153,7 +158,7 @@ func (m *Matcher) wakeInsert(r *rules.Rule, class string, id relation.TupleID, t
 			continue
 		}
 		fixed := map[int]joiner.Fixed{ce.Index: {ID: id, Tuple: t}}
-		joiner.Enumerate(m.db, r, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+		m.pl.Enumerate(m.db, r, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 			found = true
 			derived++
 			in := &conflict.Instantiation{Rule: r, TupleIDs: ids, Tuples: tuples, Bindings: b}
@@ -184,7 +189,7 @@ func (m *Matcher) wakeDelete(r *rules.Rule) {
 	t0 := m.tr.Now()
 	var derived int64
 	found := false
-	joiner.Enumerate(m.db, r, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+	m.pl.Enumerate(m.db, r, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 		found = true
 		derived++
 		in := &conflict.Instantiation{Rule: r, TupleIDs: ids, Tuples: tuples, Bindings: b}

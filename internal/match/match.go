@@ -20,6 +20,7 @@ package match
 
 import (
 	"prodsys/internal/conflict"
+	"prodsys/internal/joiner"
 	"prodsys/internal/relation"
 	"prodsys/internal/trace"
 )
@@ -49,5 +50,22 @@ type Traceable interface {
 func AttachTracer(m Matcher, tr *trace.Tracer) {
 	if t, ok := m.(Traceable); ok {
 		t.SetTracer(tr)
+	}
+}
+
+// Planned is implemented by matchers whose LHS evaluation goes through
+// internal/joiner and can therefore be routed through a cost-based
+// join planner. A nil planner restores the fixed source-order
+// evaluation.
+type Planned interface {
+	SetPlanner(*joiner.Planner)
+}
+
+// AttachPlanner hands the planner to the matcher if its join paths
+// support planning; matchers with their own incremental networks
+// (Rete) ignore it.
+func AttachPlanner(m Matcher, p *joiner.Planner) {
+	if x, ok := m.(Planned); ok {
+		x.SetPlanner(p)
 	}
 }

@@ -43,6 +43,11 @@ const (
 	FalseDrops       Counter = "false_drops"
 	CandidateChecks  Counter = "candidate_checks"
 
+	// Planner level (internal/joiner cost-based planning).
+	PlansBuilt        Counter = "plans_built"        // plans compiled (first build + rebuilds)
+	PlanCacheHits     Counter = "plan_cache_hits"    // executions served by a cached plan
+	PlanInvalidations Counter = "plan_invalidations" // plans discarded on stats drift
+
 	// Conflict-set / execution level.
 	Instantiations  Counter = "instantiations"
 	Retractions     Counter = "retractions"

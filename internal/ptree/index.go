@@ -148,11 +148,16 @@ type Matcher struct {
 	stats *metrics.Set
 	index *Index
 	tr    *trace.Tracer
+	pl    *joiner.Planner
 }
 
 // SetTracer implements match.Traceable: R-tree probes and seeded join
 // evaluations are emitted as trace events.
 func (m *Matcher) SetTracer(tr *trace.Tracer) { m.tr = tr }
+
+// SetPlanner implements match.Planned: seeded verification joins and
+// negated re-derivations run under the planner's cost-based join order.
+func (m *Matcher) SetPlanner(p *joiner.Planner) { m.pl = p }
 
 // NewMatcher builds the matcher. stats may be nil.
 func NewMatcher(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set) *Matcher {
@@ -194,7 +199,7 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 		tJoin := m.tr.Now()
 		var found int64
 		fixed := map[int]joiner.Fixed{ce.Index: {ID: id, Tuple: t}}
-		joiner.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+		m.pl.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 			found++
 			m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 		})
@@ -227,7 +232,7 @@ func (m *Matcher) Delete(class string, id relation.TupleID, t relation.Tuple) er
 		seen[ce.Rule] = true
 		tJoin := m.tr.Now()
 		var found int64
-		joiner.Enumerate(m.db, ce.Rule, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+		m.pl.Enumerate(m.db, ce.Rule, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 			found++
 			m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 		})

@@ -45,6 +45,10 @@ func JoinProbe(t Tuple, rel *Relation, conds []JoinCond, rs []Restriction) []Tup
 		}
 		return true
 	}
+	// Residual filtering of index-probe candidates is not charged as
+	// tuples_scanned: the probe already counted its access path, and
+	// one CE evaluation must account exactly one access path for
+	// Explain's actual-vs-estimated rows to reconcile.
 	filter := func(candidates []TupleID) []TupleID {
 		var out []TupleID
 		for _, id := range candidates {
@@ -52,7 +56,6 @@ func JoinProbe(t Tuple, rel *Relation, conds []JoinCond, rs []Restriction) []Tup
 			if !ok {
 				continue
 			}
-			rel.stats.Inc(metrics.TuplesScanned)
 			if check(id, u) {
 				out = append(out, id)
 			}

@@ -334,6 +334,10 @@ func (r *Relation) Select(rs []Restriction) []TupleID {
 		}
 		candidates = r.SelectRange(rangePos, rb)
 	}
+	// Residual filtering of the probed candidates is not charged as
+	// tuples_scanned: the index probe above already accounted the
+	// access path, and each Select must count exactly one access path
+	// so planner Explain's actual-vs-estimated rows reconcile.
 	var out []TupleID
 	for _, id := range candidates {
 		r.mu.RLock()
@@ -342,7 +346,6 @@ func (r *Relation) Select(rs []Restriction) []TupleID {
 		if !ok {
 			continue
 		}
-		r.stats.Inc(metrics.TuplesScanned)
 		if SatisfiesAll(t, rs) {
 			out = append(out, id)
 		}

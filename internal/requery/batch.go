@@ -86,7 +86,7 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 			tJoin := m.tr.Now()
 			var found int64
 			fixed := map[int]joiner.Fixed{ce.Index: {ID: rep.ID, Tuple: rep.Tuple}}
-			joiner.Enumerate(m.db, rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+			m.pl.Enumerate(m.db, rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 				for _, member := range group {
 					mids := append([]relation.TupleID(nil), ids...)
 					mtups := append([]relation.Tuple(nil), tuples...)

@@ -28,11 +28,16 @@ type Matcher struct {
 	cs    *conflict.Set
 	stats *metrics.Set
 	tr    *trace.Tracer
+	pl    *joiner.Planner
 }
 
 // SetTracer implements match.Traceable: COND-relation searches and join
 // re-evaluations are emitted as trace events.
 func (m *Matcher) SetTracer(tr *trace.Tracer) { m.tr = tr }
+
+// SetPlanner implements match.Planned: LHS re-evaluations run under
+// the planner's cost-based join order (nil restores source order).
+func (m *Matcher) SetPlanner(p *joiner.Planner) { m.pl = p }
 
 // New builds the matcher over the engine's WM catalog. The catalog must
 // already contain a relation per declared class (rules.BuildDB). stats
@@ -98,7 +103,7 @@ func (m *Matcher) deriveWithFixed(ce *rules.CE, id relation.TupleID, t relation.
 	var found int64
 	t0 := m.tr.Now()
 	fixed := map[int]joiner.Fixed{ce.Index: {ID: id, Tuple: t}}
-	joiner.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+	m.pl.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 		found++
 		m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 	})
@@ -116,7 +121,7 @@ func (m *Matcher) deriveWithFixed(ce *rules.CE, id relation.TupleID, t relation.
 func (m *Matcher) deriveAll(r *rules.Rule, ceIdx int) {
 	var found int64
 	t0 := m.tr.Now()
-	joiner.Enumerate(m.db, r, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+	m.pl.Enumerate(m.db, r, nil, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 		found++
 		m.cs.Add(&conflict.Instantiation{Rule: r, TupleIDs: ids, Tuples: tuples, Bindings: b})
 	})

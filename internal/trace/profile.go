@@ -260,6 +260,11 @@ type Explanation struct {
 	Dur     time.Duration
 	Firings int64 // total firings of the rule so far
 	CEs     []ExplainCE
+	// Plan is the rendered join plan(s) for the rule — access path,
+	// join position, and estimated vs actual cardinality per condition
+	// element. Empty when no plan renderer is installed (planner
+	// disabled) or the rule has no plans.
+	Plan string
 }
 
 // String renders a human-readable explanation.
@@ -281,6 +286,11 @@ func (e Explanation) String() string {
 			fmt.Fprintf(&b, "  CE%d: %s supported by tuple %d\n", ce.Index+1, class, ce.TupleID)
 		}
 	}
+	if e.Plan != "" {
+		for _, line := range strings.Split(strings.TrimRight(e.Plan, "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
 	return b.String()
 }
 
@@ -289,6 +299,35 @@ func (e Explanation) String() string {
 // carried on the RuleFire event, and the class of each condition
 // element from the rule metadata installed via SetRules.
 func (t *Tracer) Explain(rule string) (Explanation, error) {
+	ex, err := t.explain(rule)
+	if err != nil {
+		return ex, err
+	}
+	// Render the join plan outside t.mu: the renderer consults the
+	// planner, which has its own locking.
+	t.mu.Lock()
+	render := t.planText
+	t.mu.Unlock()
+	if render != nil {
+		ex.Plan = render(rule)
+	}
+	return ex, nil
+}
+
+// SetPlanText installs the join-plan renderer Explain appends to each
+// explanation — a callback because the planner lives above this
+// package in the import graph.
+func (t *Tracer) SetPlanText(render func(rule string) string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.planText = render
+	t.mu.Unlock()
+}
+
+// explain builds the plan-free part of an Explanation under t.mu.
+func (t *Tracer) explain(rule string) (Explanation, error) {
 	if t == nil {
 		return Explanation{}, fmt.Errorf("trace: tracer is nil")
 	}

@@ -151,14 +151,15 @@ type Tracer struct {
 	on    atomic.Bool
 	epoch atomic.Pointer[time.Time] // carries a monotonic reading
 
-	mu      sync.Mutex
-	buf     []Event // ring storage, len == capacity
-	next    uint64  // total events accepted since Start
-	kinds   [kindCount]int64
-	rules   map[string]*ruleAgg
-	last    map[string]Event // rule -> most recent RuleFire
-	info    map[string]RuleInfo
-	started bool
+	mu       sync.Mutex
+	buf      []Event // ring storage, len == capacity
+	next     uint64  // total events accepted since Start
+	kinds    [kindCount]int64
+	rules    map[string]*ruleAgg
+	last     map[string]Event // rule -> most recent RuleFire
+	info     map[string]RuleInfo
+	started  bool
+	planText func(rule string) string // Explain's join-plan renderer
 }
 
 // New returns a disabled tracer ready to be wired through a system.

@@ -10,7 +10,22 @@ import (
 	"sort"
 	"strings"
 
+	"prodsys/internal/joiner"
 	"prodsys/internal/trace"
+)
+
+// Re-exported planner types. The concrete implementations live in
+// internal/joiner; these aliases make System.Plan's tree usable
+// without importing an internal package.
+type (
+	// Plan is a compiled cost-based join order for one rule, with
+	// estimated and actual cardinalities per step; obtain one with
+	// System.Plan or System.Plans.
+	Plan = joiner.Plan
+	// PlanStep is one condition element's slot in a Plan.
+	PlanStep = joiner.PlanStep
+	// PlanAccess names a plan step's access path.
+	PlanAccess = joiner.Access
 )
 
 // Re-exported tracing types. The concrete implementations live in
@@ -178,12 +193,30 @@ type IntegrityStats struct {
 	TxnTimeouts       int64 // transactions aborted by the watchdog
 }
 
+// PlannerStats counts cost-based join-planning operations.
+type PlannerStats struct {
+	PlansBuilt        int64 // plans compiled (first build + rebuilds)
+	PlanCacheHits     int64 // executions served by a cached plan
+	PlanInvalidations int64 // plans discarded on stats drift
+}
+
+// CacheHitRate is the fraction of planned executions served from the
+// plan cache.
+func (p PlannerStats) CacheHitRate() float64 {
+	total := p.PlansBuilt + p.PlanCacheHits
+	if total == 0 {
+		return 0
+	}
+	return float64(p.PlanCacheHits) / float64(total)
+}
+
 // Snapshot is a typed, immutable copy of the system's operation
 // counters, grouped by subsystem. Counters holds every raw counter by
 // name, including any not covered by the typed sections.
 type Snapshot struct {
 	Storage    StorageStats
 	Match      MatchStats
+	Planner    PlannerStats
 	Execution  ExecutionStats
 	Batch      BatchStats
 	Durability DurabilityStats
@@ -240,6 +273,11 @@ func newSnapshot(m map[string]int64) Snapshot {
 			CondTuplesStored: m["cond_tuples_stored"],
 			FalseDrops:       m["false_drops"],
 			CandidateChecks:  m["candidate_checks"],
+		},
+		Planner: PlannerStats{
+			PlansBuilt:        m["plans_built"],
+			PlanCacheHits:     m["plan_cache_hits"],
+			PlanInvalidations: m["plan_invalidations"],
 		},
 		Execution: ExecutionStats{
 			Instantiations:  m["instantiations"],
@@ -324,6 +362,62 @@ func (sn Snapshot) String() string {
 			fmt.Fprintf(&b, " ix(%s)=%d", ix.Attr, ix.Distinct)
 		}
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Plan returns the active plan for the named rule: the cached plan
+// with the most executions (so its actual cardinalities are the
+// best-populated), or a freshly built full-derivation plan when the
+// rule has not been planned yet. Requires the default PlannerCost;
+// under PlannerFixed it returns ErrNoPlanner.
+func (s *System) Plan(rule string) (*Plan, error) {
+	plans, err := s.Plans(rule)
+	if err != nil {
+		return nil, err
+	}
+	best := plans[0]
+	for _, p := range plans[1:] {
+		if p.Execs() > best.Execs() {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// Plans returns every compiled plan for the named rule — one per delta
+// class the matcher has seeded evaluations from, plus the
+// full-derivation plan (built on demand, so the slice is never empty).
+// Plans are live: their actual cardinalities keep accumulating.
+func (s *System) Plans(rule string) ([]*Plan, error) {
+	if s.planner == nil {
+		return nil, fmt.Errorf("prodsys: %w (Options.Planner == PlannerFixed)", ErrNoPlanner)
+	}
+	r, ok := s.set.RuleByName(rule)
+	if !ok {
+		return nil, fmt.Errorf("prodsys: %w %q", ErrUnknownRule, rule)
+	}
+	s.planner.Plan(r, -1) // ensure at least the full-derivation plan exists
+	return s.planner.Plans(r), nil
+}
+
+// planText renders every plan of the named rule for Tracer.Explain
+// ("" when the planner is disabled or the rule unknown).
+func (s *System) planText(rule string) string {
+	if s.planner == nil {
+		return ""
+	}
+	r, ok := s.set.RuleByName(rule)
+	if !ok {
+		return ""
+	}
+	plans := s.planner.Plans(r)
+	if len(plans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, p := range plans {
+		b.WriteString(p.String())
 	}
 	return b.String()
 }

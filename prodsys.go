@@ -47,6 +47,7 @@ import (
 	"prodsys/internal/core"
 	"prodsys/internal/engine"
 	"prodsys/internal/fsx"
+	"prodsys/internal/joiner"
 	"prodsys/internal/lang"
 	"prodsys/internal/marker"
 	"prodsys/internal/match"
@@ -128,6 +129,25 @@ func Storages() []Storage {
 	return out
 }
 
+// Planner selects how the joiner-based matchers order LHS joins.
+type Planner string
+
+// The available planners.
+const (
+	// PlannerCost compiles greedy cost-based join orders from relation
+	// statistics and caches them per (rule, delta class), invalidating
+	// on cardinality drift (default).
+	PlannerCost Planner = "cost"
+	// PlannerFixed evaluates condition elements in LHS source order —
+	// the pre-planner behavior and the crosscheck oracle.
+	PlannerFixed Planner = "fixed"
+)
+
+// Planners lists every available planner mode.
+func Planners() []Planner {
+	return []Planner{PlannerCost, PlannerFixed}
+}
+
 // Sentinel errors; returned errors wrap these, test with errors.Is.
 var (
 	// ErrUnknownClass marks an operation naming an undeclared WM class.
@@ -138,6 +158,13 @@ var (
 	ErrUnknownStrategy = errors.New("unknown strategy")
 	// ErrUnknownStorage marks an Options.Storage not in Storages().
 	ErrUnknownStorage = relation.ErrUnknownStorage
+	// ErrUnknownPlanner marks an Options.Planner not in Planners().
+	ErrUnknownPlanner = errors.New("unknown planner")
+	// ErrNoPlanner marks a Plan call on a system running with
+	// PlannerFixed (no planner to ask).
+	ErrNoPlanner = errors.New("planner disabled")
+	// ErrUnknownRule marks a Plan call naming a rule not in the program.
+	ErrUnknownRule = errors.New("unknown rule")
 	// ErrArity marks an Assert with more values than the class has
 	// attributes.
 	ErrArity = relation.ErrArity
@@ -159,6 +186,12 @@ type Options struct {
 	// StorageByClass overrides the storage backend for individual WM
 	// classes, keyed by class name; classes not listed use Storage.
 	StorageByClass map[string]Storage
+	// Planner selects how LHS joins are ordered in the joiner-based
+	// matchers (requery, core, core-parallel, marker, ptree): the
+	// default PlannerCost compiles and caches cost-based join orders
+	// from relation statistics; PlannerFixed keeps the source-order
+	// evaluation. Rete matchers are unaffected either way.
+	Planner Planner
 	// Workers sizes the concurrent executor pool (default 4).
 	Workers int
 	// MaxFirings caps rule firings (default 10000).
@@ -227,6 +260,7 @@ type System struct {
 	quelIn  *quel.Interp
 	out     io.Writer
 	tracer  *trace.Tracer
+	planner *joiner.Planner // nil when Options.Planner == PlannerFixed
 
 	wal      *wal.Log      // non-nil while durability is active
 	recovery *RecoveryInfo // what Load recovered; nil without a WAL
@@ -258,6 +292,14 @@ func Load(src string, opts Options) (*System, error) {
 	tr := trace.New() // disabled until System.Trace; emit points are no-ops
 	cs.SetTracer(tr)
 	sys := &System{set: set, prog: prog, db: db, stats: stats, tracer: tr}
+	switch opts.Planner {
+	case "", PlannerCost:
+		sys.planner = joiner.NewPlanner(db, stats)
+	case PlannerFixed:
+		// leave sys.planner nil: matchers keep LHS source order
+	default:
+		return nil, fmt.Errorf("prodsys: %w %q", ErrUnknownPlanner, opts.Planner)
+	}
 	switch opts.Matcher {
 	case MatcherRete:
 		sys.matcher = rete.New(set, cs, stats)
@@ -279,6 +321,8 @@ func Load(src string, opts Options) (*System, error) {
 		return nil, fmt.Errorf("prodsys: %w %q", ErrUnknownMatcher, opts.Matcher)
 	}
 	match.AttachTracer(sys.matcher, tr)
+	match.AttachPlanner(sys.matcher, sys.planner)
+	tr.SetPlanText(func(rule string) string { return sys.planText(rule) })
 	var strat conflict.Strategy
 	switch opts.Strategy {
 	case "", StrategyFIFO:
@@ -332,17 +376,20 @@ func LoadFile(path string, opts Options) (*System, error) {
 }
 
 // Run executes the serial OPS5 recognize-act cycle until quiescence or
-// halt.
+// halt. It is a thin wrapper over RunContext with a background
+// context — the context-taking variant is the primary entry point, and
+// new execution features land there.
 func (s *System) Run() (Result, error) {
-	r, err := s.eng.RunSerial()
-	return Result(r), err
+	return s.RunContext(context.Background())
 }
 
 // RunConcurrent executes the conflict set with concurrent transactional
-// firing under two-phase locking (§5).
+// firing under two-phase locking (§5). It is a thin wrapper over
+// RunConcurrentContext with a background context — the context-taking
+// variant is the primary entry point, and new execution features land
+// there.
 func (s *System) RunConcurrent() (Result, error) {
-	r, err := s.eng.RunConcurrent()
-	return Result(r), err
+	return s.RunConcurrentContext(context.Background())
 }
 
 // toValue converts a Go value to a working-memory value. Supported:
@@ -522,14 +569,6 @@ func (s *System) RuleNames() []string {
 
 // MatcherName reports the active matching algorithm.
 func (s *System) MatcherName() string { return s.matcher.Name() }
-
-// Stats snapshots the operation counters accumulated so far.
-//
-// Deprecated: use Metrics, which returns the same counters grouped into
-// typed sections alongside the raw map.
-func (s *System) Stats() map[string]int64 {
-	return s.Metrics().Counters
-}
 
 // RulebaseQuery answers "which rules have a condition on class whose
 // restriction of attr intersects [lo, hi]" (§4.2.3; nil bound =

@@ -143,7 +143,7 @@ func TestClassesAndRuleNames(t *testing.T) {
 func TestStatsAndFormat(t *testing.T) {
 	sys, _ := Load(payrollSrc, Options{Out: io.Discard})
 	sys.Run()
-	stats := sys.Stats()
+	stats := sys.Metrics().Counters
 	if stats["rule_firings"] != 1 {
 		t.Fatalf("stats = %v", stats)
 	}
