@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-storage bench bench-storage bench-planner check fmt fuzz-short trace-demo crash-demo audit-demo
+.PHONY: build test test-storage bench bench-storage bench-planner check fmt fuzz-short trace-demo crash-demo audit-demo soak-demo
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,26 @@ trace-demo:
 audit-demo:
 	$(GO) run ./cmd/psdb -matcher rete -run=false -wm=false \
 		-corrupt 42 -audit -audit-repair testdata/payroll.ops
+
+# soak-demo runs the server-mode load harness twice (docs/SERVER.md):
+# an overload pass against a deliberately tiny admission window (429
+# shedding must be visible) and a chaos pass that SIGKILLs the server
+# mid-load, restarts it, and verifies recovery against the
+# acknowledgement oracle plus a full integrity audit. Both runs append
+# to BENCH_8.json; psload exits non-zero if any acknowledged commit
+# went missing.
+SOAK_DURATION ?= 6s
+soak-demo:
+	$(GO) build -o /tmp/psserve ./cmd/psserve
+	$(GO) build -o /tmp/psload ./cmd/psload
+	rm -f /tmp/soak.wal /tmp/soak.wal.ckpt /tmp/soak-chaos.wal /tmp/soak-chaos.wal.ckpt BENCH_8.json
+	/tmp/psload -spawn -psserve /tmp/psserve -program testdata/server.ops \
+		-wal /tmp/soak.wal -addr 127.0.0.1:8372 -clients 32 \
+		-duration $(SOAK_DURATION) -max-inflight 2 -max-queue 2 \
+		-label overload -out BENCH_8.json
+	/tmp/psload -spawn -psserve /tmp/psserve -program testdata/server.ops \
+		-wal /tmp/soak-chaos.wal -addr 127.0.0.1:8373 -clients 8 \
+		-duration $(SOAK_DURATION) -chaos -label chaos-soak -out BENCH_8.json
 
 # crash-demo kills a WAL-attached run with SIGKILL mid-flight, then
 # reopens the log read-only to show recovery landing on the last

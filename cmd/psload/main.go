@@ -1,0 +1,542 @@
+// Command psload is the load and chaos harness for psserve: many
+// concurrent clients drive a mixed assert/retract/query workload over
+// HTTP, measuring throughput, p50/p99 latency, and shed (429) rates.
+//
+// Usage:
+//
+//	psload -spawn -psserve bin/psserve -program testdata/server.ops -wal /tmp/wm.wal \
+//	       -clients 8 -duration 10s [-chaos] [-out BENCH_8.json]
+//
+// With -spawn, psload launches and manages the server process itself;
+// without it, point -addr at a running psserve. With -chaos, the
+// harness SIGKILLs the server mid-load, restarts it, measures recovery
+// time, and then checks the acknowledgement oracle: every assertion
+// the server acknowledged before the kill (and not since retracted)
+// must be present in the recovered working memory — acknowledged means
+// durable, no exceptions — and a full integrity audit must come back
+// clean. Results land in -out as JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8372", "psserve address")
+	clients := flag.Int("clients", 8, "concurrent load clients")
+	duration := flag.Duration("duration", 5*time.Second, "total load duration")
+	mix := flag.String("mix", "70,10,20", "assert,retract,query percentages")
+	spawn := flag.Bool("spawn", false, "launch and manage the server process")
+	psserve := flag.String("psserve", "psserve", "psserve binary (with -spawn)")
+	program := flag.String("program", "testdata/server.ops", "program file (with -spawn)")
+	walPath := flag.String("wal", "", "WAL file (with -spawn; required for -chaos)")
+	maxInFlight := flag.Int("max-inflight", 32, "server max in-flight (with -spawn)")
+	maxQueue := flag.Int("max-queue", 128, "server max queue (with -spawn)")
+	chaos := flag.Bool("chaos", false, "SIGKILL the server mid-load, restart, verify recovery (needs -spawn and -wal)")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	label := flag.String("label", "mixed", "workload label recorded in the report")
+	out := flag.String("out", "", "append the JSON report to this file (array of runs)")
+	flag.Parse()
+
+	if *chaos && (!*spawn || *walPath == "") {
+		fmt.Fprintln(os.Stderr, "psload: -chaos requires -spawn and -wal")
+		os.Exit(2)
+	}
+	ratios, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psload: %v\n", err)
+		os.Exit(2)
+	}
+
+	h := &harness{
+		base:    "http://" + *addr,
+		clients: *clients,
+		ratios:  ratios,
+		seed:    *seed,
+		acked:   map[uint64]bool{},
+	}
+
+	var srv *serverProc
+	if *spawn {
+		srv = &serverProc{
+			bin: *psserve, addr: *addr, program: *program, wal: *walPath,
+			maxInFlight: *maxInFlight, maxQueue: *maxQueue,
+		}
+		if err := srv.start(); err != nil {
+			fmt.Fprintf(os.Stderr, "psload: spawn: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.kill()
+		if err := h.waitHealthy(10 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "psload: server never became healthy: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := report{
+		Workload: *label, Clients: *clients, Mix: *mix, Chaos: *chaos,
+	}
+	start := time.Now()
+	if *chaos {
+		err = h.runChaos(srv, *duration, &rep)
+	} else {
+		// QUEL range declaration for the query mix (the chaos path
+		// declares its own, per server incarnation).
+		h.post("/v1/quel", `{"stmt":"range of i is Item"}`)
+		h.runLoad(*duration)
+	}
+	rep.DurationMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psload: %v\n", err)
+		os.Exit(1)
+	}
+
+	h.fill(&rep)
+	if sn, err := h.serverMetrics(); err == nil {
+		rep.GroupCommits = sn.Server.GroupCommits
+		rep.GroupWaiters = sn.Server.GroupWaiters
+		rep.WALAppends = sn.Durability.WALAppends
+		rep.WALSyncs = sn.Durability.WALSyncs
+	}
+
+	if *spawn {
+		srv.terminate(15 * time.Second)
+	}
+
+	text, _ := json.MarshalIndent(&rep, "", "  ")
+	fmt.Println(string(text))
+	if *out != "" {
+		// The report file is an array of runs: successive invocations
+		// (overload pass, chaos pass, ...) append to it.
+		runs := []report{}
+		if prev, err := os.ReadFile(*out); err == nil {
+			_ = json.Unmarshal(prev, &runs)
+		}
+		runs = append(runs, rep)
+		all, _ := json.MarshalIndent(runs, "", "  ")
+		if err := os.WriteFile(*out, append(all, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "psload: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if rep.OracleMissing > 0 || (rep.Chaos && !rep.AuditClean) {
+		fmt.Fprintln(os.Stderr, "psload: FAIL — durability oracle violated")
+		os.Exit(1)
+	}
+}
+
+// report is the BENCH_8.json shape.
+type report struct {
+	Workload         string  `json:"workload"`
+	Clients          int     `json:"clients"`
+	Mix              string  `json:"mix"`
+	DurationMS       float64 `json:"duration_ms"`
+	Ops              int64   `json:"ops"`
+	OK               int64   `json:"ok"`
+	Rejected         int64   `json:"rejected"` // shed with 429
+	Errors           int64   `json:"errors"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	P50MS            float64 `json:"p50_ms"`
+	P99MS            float64 `json:"p99_ms"`
+	GroupCommits     int64   `json:"group_commits"`
+	GroupWaiters     int64   `json:"group_waiters"`
+	WALAppends       int64   `json:"wal_appends"`
+	WALSyncs         int64   `json:"wal_syncs"`
+	Chaos            bool    `json:"chaos"`
+	RecoveryWallMS   float64 `json:"recovery_wall_ms,omitempty"`   // kill → healthy again
+	RecoveryReplayMS float64 `json:"recovery_replay_ms,omitempty"` // WAL replay inside Load
+	RecoveredTxns    int     `json:"recovered_txns,omitempty"`
+	OracleAcked      int     `json:"oracle_acked,omitempty"` // live acked assertions checked
+	OracleMissing    int     `json:"oracle_missing"`         // acked but absent after recovery (must be 0)
+	AuditClean       bool    `json:"audit_clean"`
+}
+
+// harness drives the load and keeps the acknowledgement oracle.
+type harness struct {
+	base    string
+	clients int
+	ratios  [3]int // assert, retract, query
+	seed    int64
+
+	ops      atomic.Int64
+	ok       atomic.Int64
+	rejected atomic.Int64
+	errors   atomic.Int64
+
+	mu        sync.Mutex
+	latencies []float64       // ms
+	acked     map[uint64]bool // acked tuple IDs still live (not acked-retracted)
+
+	httpc *http.Client
+}
+
+func (h *harness) client() *http.Client {
+	if h.httpc == nil {
+		h.httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return h.httpc
+}
+
+func (h *harness) waitHealthy(d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := h.client().Get(h.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				return fmt.Errorf("healthz kept failing")
+			}
+			return err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// post sends one JSON request, records latency and outcome, and
+// reports whether it was acknowledged with 200.
+func (h *harness) post(path, body string) bool {
+	ok, _ := h.postIDs(path, body)
+	return ok
+}
+
+// postIDs is post plus the batch response's minted tuple IDs — the
+// currency of the acknowledgement oracle.
+func (h *harness) postIDs(path, body string) (bool, []uint64) {
+	t0 := time.Now()
+	resp, err := h.client().Post(h.base+path, "application/json", strings.NewReader(body))
+	ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+	h.ops.Add(1)
+	h.mu.Lock()
+	h.latencies = append(h.latencies, ms)
+	h.mu.Unlock()
+	if err != nil {
+		h.errors.Add(1)
+		return false, nil
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		h.ok.Add(1)
+		var out struct {
+			IDs []uint64 `json:"ids"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return true, out.IDs
+	case http.StatusTooManyRequests:
+		h.rejected.Add(1)
+		// Shed: back off briefly and let the retry happen organically
+		// on the next loop iteration.
+		time.Sleep(5 * time.Millisecond)
+		return false, nil
+	default:
+		h.errors.Add(1)
+		return false, nil
+	}
+}
+
+func (h *harness) get(path string) (int, []byte) {
+	resp, err := h.client().Get(h.base + path)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	b := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(b)
+		buf.Write(b[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, []byte(buf.String())
+}
+
+// runLoad drives the mixed workload for d across h.clients goroutines.
+func (h *harness) runLoad(d time.Duration) {
+	stop := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for c := 0; c < h.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(h.seed + int64(c)))
+			next := uint64(c)<<32 | 1 // per-client attribute-id space
+			var mine []uint64         // this client's live acked tuple IDs
+			for time.Now().Before(stop) {
+				p := rng.Intn(100)
+				switch {
+				case p < h.ratios[0] || len(mine) == 0 && p < h.ratios[0]+h.ratios[1]:
+					id := next
+					next++
+					qty := rng.Intn(100)
+					ok, ids := h.postIDs("/v1/batch", fmt.Sprintf(
+						`{"ops":[{"op":"assert","class":"Item","values":[%d,%d]}]}`, id, qty))
+					if ok && len(ids) == 1 {
+						mine = append(mine, ids[0])
+						h.mu.Lock()
+						h.acked[ids[0]] = true
+						h.mu.Unlock()
+					}
+				case p < h.ratios[0]+h.ratios[1]:
+					i := rng.Intn(len(mine))
+					tid := mine[i]
+					if h.post("/v1/batch", fmt.Sprintf(
+						`{"ops":[{"op":"retract","class":"Item","id":%d}]}`, tid)) {
+						mine[i] = mine[len(mine)-1]
+						mine = mine[:len(mine)-1]
+						h.mu.Lock()
+						delete(h.acked, tid)
+						h.mu.Unlock()
+					}
+				default:
+					if rng.Intn(2) == 0 {
+						h.get("/v1/wm")
+						h.ops.Add(1)
+						h.ok.Add(1)
+					} else {
+						h.post("/v1/quel", `{"stmt":"retrieve (i.id)"}`)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// runChaos is the kill-and-recover drill: load, SIGKILL mid-flight,
+// restart, measure recovery, check the acknowledgement oracle and the
+// integrity audit, then finish the load on the recovered server.
+func (h *harness) runChaos(srv *serverProc, d time.Duration, rep *report) error {
+	// QUEL range declaration for the query mix, session state on the
+	// first server incarnation.
+	h.post("/v1/quel", `{"stmt":"range of i is Item"}`)
+	h.runLoad(d / 2)
+
+	if err := srv.kill(); err != nil {
+		return fmt.Errorf("chaos kill: %w", err)
+	}
+	t0 := time.Now()
+	if err := srv.start(); err != nil {
+		return fmt.Errorf("chaos restart: %w", err)
+	}
+	if err := h.waitHealthy(30 * time.Second); err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	rep.RecoveryWallMS = float64(time.Since(t0).Nanoseconds()) / 1e6
+
+	if code, body := h.get("/v1/recovery"); code == http.StatusOK {
+		var rec struct {
+			Recovered bool  `json:"recovered"`
+			Txns      int   `json:"txns"`
+			ElapsedNS int64 `json:"elapsed_ns"`
+		}
+		if json.Unmarshal(body, &rec) == nil {
+			if !rec.Recovered {
+				return fmt.Errorf("server restarted without recovering the WAL")
+			}
+			rep.RecoveredTxns = rec.Txns
+			rep.RecoveryReplayMS = float64(rec.ElapsedNS) / 1e6
+		}
+	}
+
+	missing, checked, err := h.checkOracle()
+	if err != nil {
+		return err
+	}
+	rep.OracleAcked = checked
+	rep.OracleMissing = missing
+
+	rep.AuditClean = h.auditClean()
+
+	// Finish the load on the recovered incarnation: service must be
+	// fully writable again after recovery.
+	h.post("/v1/quel", `{"stmt":"range of i is Item"}`)
+	h.runLoad(d / 2)
+	return nil
+}
+
+// checkOracle fetches the recovered WM and verifies every acked-live
+// assertion survived. Extra tuples are legal (committed but unacked at
+// the kill); missing acked tuples are a durability violation.
+func (h *harness) checkOracle() (missing, checked int, err error) {
+	code, body := h.get("/v1/wm?class=Item")
+	if code != http.StatusOK {
+		return 0, 0, fmt.Errorf("oracle: /v1/wm returned %d", code)
+	}
+	var wm struct {
+		Tuples []string `json:"tuples"`
+	}
+	if err := json.Unmarshal(body, &wm); err != nil {
+		return 0, 0, fmt.Errorf("oracle: %w", err)
+	}
+	live := map[uint64]bool{}
+	for _, t := range wm.Tuples {
+		// WMClass renders "id: (v, ...)".
+		if i := strings.IndexByte(t, ':'); i > 0 {
+			if id, err := strconv.ParseUint(t[:i], 10, 64); err == nil {
+				live[id] = true
+			}
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id := range h.acked {
+		checked++
+		if !live[id] {
+			missing++
+		}
+	}
+	return missing, checked, nil
+}
+
+func (h *harness) auditClean() bool {
+	resp, err := h.client().Post(h.base+"/v1/audit", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Clean bool `json:"clean"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&out) != nil {
+		return false
+	}
+	return resp.StatusCode == http.StatusOK && out.Clean
+}
+
+type metricsSnapshot struct {
+	Server struct {
+		GroupCommits int64
+		GroupWaiters int64
+	}
+	Durability struct {
+		WALAppends int64
+		WALSyncs   int64
+	}
+}
+
+func (h *harness) serverMetrics() (*metricsSnapshot, error) {
+	code, body := h.get("/v1/metrics")
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("metrics: %d", code)
+	}
+	var sn metricsSnapshot
+	if err := json.Unmarshal(body, &sn); err != nil {
+		return nil, err
+	}
+	return &sn, nil
+}
+
+func (h *harness) fill(rep *report) {
+	rep.Ops = h.ops.Load()
+	rep.OK = h.ok.Load()
+	rep.Rejected = h.rejected.Load()
+	rep.Errors = h.errors.Load()
+	if rep.DurationMS > 0 {
+		rep.ThroughputPerSec = float64(rep.OK) / (rep.DurationMS / 1000)
+	}
+	h.mu.Lock()
+	lats := append([]float64(nil), h.latencies...)
+	h.mu.Unlock()
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		rep.P50MS = lats[len(lats)/2]
+		rep.P99MS = lats[len(lats)*99/100]
+	}
+	if !rep.Chaos {
+		rep.AuditClean = h.auditClean()
+	}
+}
+
+// serverProc manages a spawned psserve process.
+type serverProc struct {
+	bin, addr, program, wal string
+	maxInFlight, maxQueue   int
+	cmd                     *exec.Cmd
+}
+
+func (p *serverProc) start() error {
+	cmd := exec.Command(p.bin,
+		"-addr", p.addr, "-program", p.program, "-wal", p.wal,
+		"-wal-sync", "group",
+		"-max-inflight", strconv.Itoa(p.maxInFlight),
+		"-max-queue", strconv.Itoa(p.maxQueue),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	p.cmd = cmd
+	return nil
+}
+
+// kill SIGKILLs the server — the chaos event. No drain, no checkpoint:
+// whatever reached the log is all that survives.
+func (p *serverProc) kill() error {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return nil
+	}
+	if err := p.cmd.Process.Kill(); err != nil && !strings.Contains(err.Error(), "already finished") {
+		return err
+	}
+	_ = p.cmd.Wait()
+	p.cmd = nil
+	return nil
+}
+
+// terminate SIGTERMs the server and waits for the graceful drain.
+func (p *serverProc) terminate(d time.Duration) {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return
+	}
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { _, _ = p.cmd.Process.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(d):
+		_ = p.cmd.Process.Kill()
+	}
+	p.cmd = nil
+}
+
+func parseMix(s string) ([3]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return [3]int{}, fmt.Errorf("mix %q: want assert,retract,query", s)
+	}
+	var r [3]int
+	sum := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return r, fmt.Errorf("mix %q: bad component %q", s, p)
+		}
+		r[i] = n
+		sum += n
+	}
+	if sum != 100 {
+		return r, fmt.Errorf("mix %q: components must sum to 100, got %d", s, sum)
+	}
+	return r, nil
+}

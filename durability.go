@@ -28,11 +28,18 @@ const (
 	WALSyncInterval WALSyncMode = "interval"
 	// WALSyncNever leaves flushing to the OS and Close.
 	WALSyncNever WALSyncMode = "never"
+	// WALSyncGroup coalesces fsyncs across concurrently committing
+	// clients (group commit): each commit's acknowledgement waits for a
+	// group fsync covering every unit appended so far, issued by the
+	// first waiter. Same guarantee as WALSyncAlways — no acknowledged
+	// commit is ever lost — at a fraction of the fsyncs under
+	// concurrency. The policy of choice for server mode.
+	WALSyncGroup WALSyncMode = "group"
 )
 
 // WALSyncModes lists every available sync mode.
 func WALSyncModes() []WALSyncMode {
-	return []WALSyncMode{WALSyncAlways, WALSyncInterval, WALSyncNever}
+	return []WALSyncMode{WALSyncAlways, WALSyncInterval, WALSyncNever, WALSyncGroup}
 }
 
 // RecoveryInfo describes what Load found in the write-ahead log.
@@ -79,6 +86,8 @@ func (s *System) openWAL(opts Options) error {
 		policy = wal.SyncInterval
 	case WALSyncNever:
 		policy = wal.SyncNever
+	case WALSyncGroup:
+		policy = wal.SyncGroup
 	default:
 		return fmt.Errorf("prodsys: unknown WAL sync mode %q", opts.WALSync)
 	}
@@ -152,14 +161,30 @@ func (s *System) SyncWAL() error {
 	return s.wal.Sync()
 }
 
-// Close syncs and closes the write-ahead log. Safe on systems without
-// one, and safe to call twice. After Close, further WM changes fail;
-// reads keep working.
+// ReadOnly reports whether a WAL failure (full disk, I/O error) has
+// flipped the system into read-only degraded mode: queries, WM reads,
+// metrics and audits keep serving; writes fail fast with ErrReadOnly.
+// Degradation is one-way — restart the system (recovery replays the
+// committed log) to resume writes.
+func (s *System) ReadOnly() bool { return s.eng.ReadOnly() }
+
+// ReadOnlyCause returns the failure that flipped the system read-only,
+// nil while writable.
+func (s *System) ReadOnlyCause() error { return s.eng.ReadOnlyCause() }
+
+// Close shuts the system down: writes start failing with ErrClosed, and
+// the write-ahead log (when one is attached) is synced and closed.
+// Idempotent and safe for concurrent callers — double Close and a Close
+// racing an in-flight Run or Batch must not panic; the racing commit
+// either lands in the log before it closes or fails with ErrClosed.
+// Reads keep working after Close.
 func (s *System) Close() error {
-	if s.wal == nil {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
 		return nil
 	}
-	l := s.wal
+	s.closed = true
 	s.wal = nil
-	return l.Close()
+	return s.eng.Shutdown()
 }

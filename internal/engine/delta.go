@@ -53,6 +53,9 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	if err := e.checkWritable(); err != nil {
+		return nil, err
+	}
 	// Validate classes before mutating anything.
 	classes := map[string]bool{}
 	for _, op := range ops {
@@ -80,7 +83,14 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 			return nil, err
 		}
 	}
-	defer e.locks.Release(txn)
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			e.locks.Release(txn)
+		}
+	}
+	defer release()
 	if e.tr.Enabled() {
 		defer func() {
 			e.tr.Emit(trace.Event{
@@ -90,35 +100,55 @@ func (e *Engine) ApplyDeltaContext(ctx context.Context, ops []DeltaOp) ([]relati
 		}()
 	}
 
-	e.maintMu.Lock()
-	defer e.maintMu.Unlock()
-	e.stats.Inc(metrics.SerialOps)
-	e.stats.Inc(metrics.BatchDeltas)
-	e.stats.Add(metrics.BatchTuples, int64(len(ops)))
-
 	// With a WAL attached the applied operations are collected and logged
 	// as one atomic batch record at the commit point — still under
-	// maintMu, before the deferred lock release. When a mid-batch error
-	// leaves an applied prefix, that prefix is real (it was propagated to
-	// the matcher), so it is logged too. A panicked batch is the
-	// exception: its ops are rolled back and nothing reaches the log.
-	var walOps []wal.Op
-	rec := &opRecorder{}
-	ids, err := func() (ids []relation.TupleID, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				e.rollbackLocked(rec)
-				walOps = nil
-				ids, err = nil, e.containPanic("batch", r)
-			}
+	// maintMu, before the lock release. When a mid-batch error leaves an
+	// applied prefix, that prefix is real (it was propagated to the
+	// matcher), so it is logged too. A panicked batch is the exception:
+	// its ops are rolled back and nothing reaches the log. The append
+	// failing with nothing landed rolls the batch back the same way
+	// (commitUnitLocked), keeping memory and log in agreement.
+	var durLog *wal.Log
+	var durSeq uint64
+	ids, err := func() ([]relation.TupleID, error) {
+		e.maintMu.Lock()
+		defer e.maintMu.Unlock()
+		e.stats.Inc(metrics.SerialOps)
+		e.stats.Inc(metrics.BatchDeltas)
+		e.stats.Add(metrics.BatchTuples, int64(len(ops)))
+
+		var walOps []wal.Op
+		rec := &opRecorder{}
+		ids, err := func() (ids []relation.TupleID, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					e.rollbackLocked(rec)
+					walOps = nil
+					ids, err = nil, e.containPanic("batch", r)
+				}
+			}()
+			return e.applyDeltaLocked(ops, &walOps, rec)
 		}()
-		return e.applyDeltaLocked(ops, &walOps, rec)
-	}()
-	if e.wal == nil || len(walOps) == 0 {
+		if e.wal == nil || len(walOps) == 0 {
+			return ids, err
+		}
+		l, seq, lerr := e.commitUnitLocked("", true, walOps, rec)
+		if lerr != nil {
+			if err == nil {
+				err = lerr
+			}
+			return ids, err
+		}
+		durLog, durSeq = l, seq
 		return ids, err
-	}
-	if lerr := e.logBatchLocked(walOps); lerr != nil && err == nil {
-		err = lerr
+	}()
+	// Early lock release: the batch's position in the log is fixed, so
+	// the class locks drop before the (possibly group-coalesced) fsync
+	// wait — concurrent same-class committers can append while this one
+	// waits for the leader's sync.
+	release()
+	if derr := e.waitDurable(durLog, durSeq); derr != nil && err == nil {
+		err = derr
 	}
 	return ids, err
 }

@@ -56,6 +56,15 @@ var ErrUnknownClass = errors.New("unknown class")
 // the WAL never saw a commit. Test with errors.Is.
 var ErrRulePanic = errors.New("engine: panic contained")
 
+// ErrReadOnly marks a write rejected because a WAL failure (full disk,
+// I/O error) flipped the engine into read-only degraded mode: queries
+// keep serving from the in-memory relations, writes fail fast instead
+// of diverging from the log. Test with errors.Is.
+var ErrReadOnly = errors.New("engine: read-only mode")
+
+// ErrClosed marks a write attempted after Shutdown. Test with errors.Is.
+var ErrClosed = errors.New("engine: closed")
+
 // Config tunes an Engine.
 type Config struct {
 	// Strategy selects among conflict-set instantiations in the serial
@@ -89,6 +98,10 @@ type Config struct {
 	// the watchdog that keeps one wedged transaction from stalling the
 	// scheduler. Zero disables the watchdog.
 	TxnTimeout time.Duration
+	// Seed seeds the engine's private RNG — the deadlock-victim retry
+	// jitter — so retry schedules are reproducible run-to-run under a
+	// fixed seed instead of drawing from the process-global source.
+	Seed int64
 }
 
 // Result summarizes a run.
@@ -118,6 +131,18 @@ type Engine struct {
 	maintMu sync.Mutex
 	halted  atomic.Bool
 	nextTxn atomic.Uint64
+
+	// readOnly flips (once, permanently) when a WAL failure leaves
+	// durability unpromisable; closed flips at Shutdown. Both gate the
+	// write entry points via checkWritable; reads are never gated.
+	readOnly atomic.Bool
+	roCause  atomic.Value // error: the failure that flipped readOnly
+	closed   atomic.Bool
+
+	// rng drives the deadlock-victim retry jitter, seeded from
+	// Config.Seed so retry schedules are reproducible per engine.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// negClasses are the classes some rule is negatively dependent on;
 	// inserts into them take a relation-level write lock (§5.2).
@@ -192,6 +217,7 @@ func New(set *rules.Set, db *relation.DB, matcher match.Matcher, stats *metrics.
 		cfg:        cfg,
 		tr:         cfg.Tracer,
 		negClasses: neg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -318,43 +344,128 @@ func (e *Engine) safeApplyActions(in *conflict.Instantiation, lockedMu bool, rec
 	return e.applyActions(in, lockedMu, rec)
 }
 
-// logTxnLocked appends one committed rule-firing unit to the WAL; the
-// caller holds maintMu, so the log order matches the maintenance order
-// and a due checkpoint snapshots a consistent WM. Units with no WM ops
-// are still logged: the begin record carries the instantiation key that
-// restores refraction state at recovery.
-func (e *Engine) logTxnLocked(key string, rec *opRecorder) error {
-	if e.wal == nil {
-		return nil
-	}
-	var ops []wal.Op
-	if rec != nil {
-		ops = rec.ops
-	}
-	if err := e.wal.AppendTxn(key, ops); err != nil {
+// ReadOnly reports whether a WAL failure has flipped the engine into
+// read-only degraded mode (queries served, writes rejected).
+func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
+
+// ReadOnlyCause returns the failure that flipped the engine read-only,
+// nil while writable.
+func (e *Engine) ReadOnlyCause() error {
+	if err, ok := e.roCause.Load().(error); ok {
 		return err
 	}
-	return e.maybeCheckpointLocked()
+	return nil
 }
 
-// logBatchLocked appends one committed batch unit; maintMu must be held.
-func (e *Engine) logBatchLocked(ops []wal.Op) error {
-	if e.wal == nil {
-		return nil
+// enterReadOnly flips the engine read-only (idempotently) and returns
+// cause wrapped in ErrReadOnly. Degradation is one-way: once the log
+// cannot be trusted, only a restart (with recovery) resumes writes.
+func (e *Engine) enterReadOnly(cause error) error {
+	if e.readOnly.CompareAndSwap(false, true) {
+		e.roCause.Store(cause)
+		e.stats.Max(metrics.ReadOnlyMode, 1)
+		if e.tr.Enabled() {
+			e.tr.Emit(trace.Event{
+				Kind: trace.KindReadOnly, At: e.tr.Now(),
+				CE: -1, Extra: cause.Error(),
+			})
+		}
 	}
-	if err := e.wal.AppendBatch(ops); err != nil {
-		return err
-	}
-	return e.maybeCheckpointLocked()
+	return fmt.Errorf("%w: %w", ErrReadOnly, cause)
 }
 
-// maybeCheckpointLocked compacts the log when the configured commit
-// count has elapsed; maintMu must be held (the dump is the snapshot).
-func (e *Engine) maybeCheckpointLocked() error {
-	if !e.wal.CheckpointDue() {
+// checkWritable gates the write entry points: a closed engine rejects
+// with ErrClosed, a degraded one with ErrReadOnly (carrying the cause).
+func (e *Engine) checkWritable() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.readOnly.Load() {
+		if cause := e.ReadOnlyCause(); cause != nil {
+			return fmt.Errorf("%w: %w", ErrReadOnly, cause)
+		}
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// Shutdown marks the engine closed (writes start failing with
+// ErrClosed), detaches the WAL under the maintenance lock — so no
+// commit point can race the handle — and closes it. Idempotent and safe
+// for concurrent callers; later calls return nil.
+func (e *Engine) Shutdown() error {
+	e.closed.Store(true)
+	e.maintMu.Lock()
+	l := e.wal
+	e.wal = nil
+	e.maintMu.Unlock()
+	if l == nil {
 		return nil
 	}
-	return e.wal.Checkpoint(e.db.Dump)
+	return l.Close()
+}
+
+// commitUnitLocked appends one committed unit at the §5.2 commit point
+// and runs a due checkpoint compaction; maintMu must be held. Failure
+// handling is the graceful-degradation policy:
+//
+//   - Append failure with no records landed (LastSeq unchanged): the
+//     unit never reached the log, so its WM effects are rolled back via
+//     rec and the engine flips read-only — memory keeps agreeing with
+//     the log.
+//   - Append failure after records landed (the inline sync of
+//     SyncAlways/SyncInterval), or a checkpoint failure: the unit IS in
+//     the log, so memory is kept and only the degradation flag flips.
+//
+// On success it returns the log handle and the unit's sequence for the
+// caller's post-unlock waitDurable (both zero when no WAL is attached).
+func (e *Engine) commitUnitLocked(key string, batch bool, ops []wal.Op, rec *opRecorder) (*wal.Log, uint64, error) {
+	l := e.wal
+	if l == nil {
+		return nil, 0, nil
+	}
+	before := l.LastSeq()
+	var aerr error
+	if batch {
+		aerr = l.AppendBatch(ops)
+	} else {
+		aerr = l.AppendTxn(key, ops)
+	}
+	if aerr != nil {
+		if l.LastSeq() == before {
+			e.rollbackLocked(rec)
+			if errors.Is(aerr, wal.ErrClosed) && e.closed.Load() {
+				return nil, 0, fmt.Errorf("%w: %w", ErrClosed, aerr)
+			}
+			return nil, 0, e.enterReadOnly(aerr)
+		}
+		return nil, 0, e.enterReadOnly(aerr)
+	}
+	seq := l.LastSeq()
+	if l.CheckpointDue() {
+		if cerr := l.Checkpoint(e.db.Dump); cerr != nil {
+			// The unit is already committed in the log; the failed
+			// compaction only takes future writes down.
+			return nil, 0, e.enterReadOnly(cerr)
+		}
+	}
+	return l, seq, nil
+}
+
+// waitDurable blocks until the unit at seq is on stable storage — the
+// group-commit rendezvous under wal.SyncGroup, a no-op otherwise. It
+// must be called after maintMu is released, so concurrent committers
+// can pile onto one leader fsync. A group-sync failure degrades the
+// engine read-only: the unit is applied and logged, but durability can
+// no longer be promised for anyone after it.
+func (e *Engine) waitDurable(l *wal.Log, seq uint64) error {
+	if l == nil || seq == 0 {
+		return nil
+	}
+	if err := l.WaitDurable(seq); err != nil {
+		return e.enterReadOnly(err)
+	}
+	return nil
 }
 
 // Checkpoint forces a WAL checkpoint compaction under the maintenance
@@ -427,13 +538,17 @@ func (e *Engine) LogRestored(rts []relation.RestoredTuple) error {
 	if e.wal == nil || len(rts) == 0 {
 		return nil
 	}
-	e.maintMu.Lock()
-	defer e.maintMu.Unlock()
 	ops := make([]wal.Op, len(rts))
 	for i, rt := range rts {
 		ops[i] = wal.Op{Class: rt.Class, ID: rt.ID, Tuple: rt.Tuple}
 	}
-	return e.logBatchLocked(ops)
+	e.maintMu.Lock()
+	l, seq, err := e.commitUnitLocked("", true, ops, nil)
+	e.maintMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.waitDurable(l, seq)
 }
 
 // replayRetractLocked re-applies a logged retraction.
@@ -460,23 +575,22 @@ func (e *Engine) replayRetractLocked(class string, id relation.TupleID) error {
 // attached the change is logged (and synced per policy) before Assert
 // returns.
 func (e *Engine) Assert(class string, t relation.Tuple) (relation.TupleID, error) {
+	if err := e.checkWritable(); err != nil {
+		return 0, err
+	}
 	e.maintMu.Lock()
-	defer e.maintMu.Unlock()
-	id, err := e.assertLocked(class, t, nil)
+	rec := e.recorder()
+	id, err := e.assertLocked(class, t, rec)
+	if err != nil {
+		e.maintMu.Unlock()
+		return id, err
+	}
+	l, seq, err := e.commitUnitLocked("", true, rec.ops, rec)
+	e.maintMu.Unlock()
 	if err != nil {
 		return id, err
 	}
-	if e.wal != nil {
-		rel, lerr := e.db.Lookup(class)
-		if lerr != nil {
-			return id, fmt.Errorf("engine: %w", lerr)
-		}
-		stored, _ := rel.Get(id)
-		if lerr := e.logBatchLocked([]wal.Op{{Class: class, ID: id, Tuple: stored}}); lerr != nil {
-			return id, lerr
-		}
-	}
-	return id, nil
+	return id, e.waitDurable(l, seq)
 }
 
 // assertLocked inserts a tuple and runs maintenance. rec, when non-nil,
@@ -519,15 +633,21 @@ func (e *Engine) assertLocked(class string, t relation.Tuple, rec *opRecorder) (
 // Retract deletes a WM element and runs the maintenance process; with a
 // WAL attached the change is logged before Retract returns.
 func (e *Engine) Retract(class string, id relation.TupleID) error {
-	e.maintMu.Lock()
-	defer e.maintMu.Unlock()
-	if _, err := e.retractLocked(class, id, nil); err != nil {
+	if err := e.checkWritable(); err != nil {
 		return err
 	}
-	if e.wal != nil {
-		return e.logBatchLocked([]wal.Op{{Retract: true, Class: class, ID: id}})
+	e.maintMu.Lock()
+	rec := e.recorder()
+	if _, err := e.retractLocked(class, id, rec); err != nil {
+		e.maintMu.Unlock()
+		return err
 	}
-	return nil
+	l, seq, err := e.commitUnitLocked("", true, rec.ops, rec)
+	e.maintMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.waitDurable(l, seq)
 }
 
 // retractLocked deletes a tuple and runs maintenance, returning the
@@ -736,6 +856,9 @@ func (e *Engine) RunSerialContext(ctx context.Context) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
+		if err := e.checkWritable(); err != nil {
+			return res, err
+		}
 		in := e.cs.Select(e.cfg.Strategy)
 		if in == nil {
 			return res, nil
@@ -780,8 +903,11 @@ func (e *Engine) RunSerialContext(ctx context.Context) (Result, error) {
 				// Commit point: the firing's maintenance is complete; log
 				// it as one unit before the cycle moves on.
 				e.maintMu.Lock()
-				lerr := e.logTxnLocked(bi.Key(), rec)
+				l, seq, lerr := e.commitUnitLocked(bi.Key(), false, rec.ops, rec)
 				e.maintMu.Unlock()
+				if lerr == nil {
+					lerr = e.waitDurable(l, seq)
+				}
 				if lerr != nil {
 					return res, lerr
 				}
@@ -858,6 +984,9 @@ func (e *Engine) lockPlan(in *conflict.Instantiation) []lockReq {
 // acquisition; once locks are held the transaction runs to completion.
 func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) (err error) {
 	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := e.checkWritable(); err != nil {
 		return err
 	}
 	txn := lock.TxnID(e.nextTxn.Add(1))
@@ -967,12 +1096,17 @@ func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) (err er
 			Rule: in.Rule.Name, CE: -1, ID: uint64(txn), Count: 1, Extra: in.Key(),
 		})
 	}
-	// Commit point (§5.2): maintenance is complete; make the unit durable
-	// before the locks release. A panicked unit was rolled back and is
-	// never logged — the WAL sees no commit.
+	// Commit point (§5.2): maintenance is complete; the unit is appended
+	// (fixing its log position) before the locks release. Under the
+	// group-commit policy the locks drop here — early lock release — and
+	// the acknowledgement below still waits for the group fsync: the log
+	// is sequential, so a later unit durable implies this one is too. A
+	// panicked unit was rolled back and is never logged.
+	var durLog *wal.Log
+	var durSeq uint64
 	var logErr error
 	if err == nil {
-		logErr = e.logTxnLocked(in.Key(), rec)
+		durLog, durSeq, logErr = e.commitUnitLocked(in.Key(), false, rec.ops, rec)
 	}
 	e.maintMu.Unlock()
 	commit()
@@ -985,6 +1119,9 @@ func (e *Engine) runTxn(ctx context.Context, in *conflict.Instantiation) (err er
 	}
 	if logErr != nil {
 		return logErr
+	}
+	if derr := e.waitDurable(durLog, durSeq); derr != nil {
+		return derr
 	}
 	e.stats.Inc(metrics.RuleFirings)
 	e.stats.Inc(metrics.TxnCommits)
@@ -1022,12 +1159,17 @@ const (
 
 // retryBackoff returns the jittered exponential delay before retry
 // attempt n (1-based): uniform in [d/2, 3d/2) around the nominal d.
-func retryBackoff(n int) time.Duration {
+// The jitter draws from the engine's seeded RNG, keeping retry
+// schedules reproducible under a fixed Config.Seed.
+func (e *Engine) retryBackoff(n int) time.Duration {
 	d := txnBackoffBase << uint(n-1)
 	if d <= 0 || d > txnBackoffCap {
 		d = txnBackoffCap
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d)))
+	e.rngMu.Lock()
+	j := e.rng.Int63n(int64(d))
+	e.rngMu.Unlock()
+	return d/2 + time.Duration(j)
 }
 
 // RunConcurrent executes the conflict set in rounds: each round takes the
@@ -1048,6 +1190,9 @@ func (e *Engine) RunConcurrentContext(ctx context.Context) (Result, error) {
 	var errMu sync.Mutex
 	for res.Firings < e.cfg.MaxFirings {
 		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if err := e.checkWritable(); err != nil {
 			return res, err
 		}
 		if e.halted.Load() {
@@ -1087,7 +1232,7 @@ func (e *Engine) RunConcurrentContext(ctx context.Context) (Result, error) {
 						attempt <= maxTxnRetries && !e.halted.Load() && ctx.Err() == nil; attempt++ {
 						aborted.Add(1)
 						e.stats.Inc(metrics.TxnRetries)
-						time.Sleep(retryBackoff(attempt))
+						time.Sleep(e.retryBackoff(attempt))
 						err = e.runTxn(ctx, in)
 					}
 					switch {

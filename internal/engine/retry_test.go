@@ -139,9 +139,10 @@ func TestRetriesBoundedUnderPersistentVictimization(t *testing.T) {
 // TestRetryBackoffBounded pins the backoff envelope: positive, jittered
 // around an exponential nominal, and never above 1.5× the cap.
 func TestRetryBackoffBounded(t *testing.T) {
+	e := harness(t, retrySrc, "core", Config{})
 	for n := 1; n <= maxTxnRetries+5; n++ {
 		for trial := 0; trial < 50; trial++ {
-			d := retryBackoff(n)
+			d := e.retryBackoff(n)
 			if d <= 0 {
 				t.Fatalf("backoff(%d) = %v, not positive", n, d)
 			}
@@ -149,5 +150,35 @@ func TestRetryBackoffBounded(t *testing.T) {
 				t.Fatalf("backoff(%d) = %v exceeds cap envelope", n, d)
 			}
 		}
+	}
+}
+
+// TestRetryBackoffSeeded pins reproducibility: two engines built with
+// the same Config.Seed draw identical jitter schedules, and a different
+// seed diverges — the per-engine RNG replaced the process-global one.
+func TestRetryBackoffSeeded(t *testing.T) {
+	sched := func(seed int64) []time.Duration {
+		e := harness(t, retrySrc, "core", Config{Seed: seed})
+		out := make([]time.Duration, 0, maxTxnRetries)
+		for n := 1; n <= maxTxnRetries; n++ {
+			out = append(out, e.retryBackoff(n))
+		}
+		return out
+	}
+	a, b, c := sched(42), sched(42), sched(43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
 	}
 }

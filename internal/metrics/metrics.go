@@ -78,6 +78,14 @@ const (
 	RecoveryTuples Counter = "recovery_tuples" // checkpoint tuples restored at open
 	RecoveryNanos  Counter = "recovery_ns"     // wall time spent in recovery replay
 
+	// Server level (internal/server front end + WAL group commit).
+	ServerAdmitted  Counter = "server_admitted"   // requests admitted past admission control
+	ServerRejected  Counter = "server_rejected"   // requests shed with 429 (queue full)
+	ServerDrained   Counter = "server_drained"    // in-flight requests finished during drain
+	WALGroupCommits Counter = "wal_group_commits" // group fsyncs, each covering ≥1 waiting commit
+	WALGroupWaiters Counter = "wal_group_waiters" // commits whose durability rode a group fsync
+	ReadOnlyMode    Counter = "read_only"         // 1 after a WAL failure flipped the system read-only
+
 	// Integrity level (internal/audit + executor fault containment).
 	AuditRuns         Counter = "audit_runs"          // audit passes (full or sampled)
 	AuditRulesChecked Counter = "audit_rules_checked" // rules examined across audits

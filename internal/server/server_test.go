@@ -1,0 +1,411 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prodsys"
+	"prodsys/internal/faultfs"
+)
+
+const testSrc = `
+(literalize Item id qty)
+(literalize Hit id)
+(p hot (Item ^id <i> ^qty > 9) --> (make Hit ^id <i>) (remove 1))
+`
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func load(t *testing.T, opts prodsys.Options) *prodsys.System {
+	t.Helper()
+	opts.Out = discard{}
+	sys, err := prodsys.Load(testSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func newServer(t *testing.T, cfg Config, opts prodsys.Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(load(t, opts), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.System().Close() })
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestEndpointsRoundTrip drives every endpoint once: batch assert,
+// run to quiescence, WM and QUEL reads, plans, audit, metrics, health.
+func TestEndpointsRoundTrip(t *testing.T) {
+	_, ts := newServer(t, Config{}, prodsys.Options{})
+
+	code, out, _ := postJSON(t, ts.URL+"/v1/batch",
+		`{"ops":[{"op":"assert","class":"Item","values":[1,5]},{"op":"assert","class":"Item","values":[2,12]}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %v", code, out)
+	}
+	if ids := out["ids"].([]any); len(ids) != 2 {
+		t.Fatalf("batch ids: %v", out)
+	}
+
+	code, out, _ = postJSON(t, ts.URL+"/v1/run", `{}`)
+	if code != http.StatusOK || out["firings"].(float64) != 1 {
+		t.Fatalf("run: %d %v", code, out)
+	}
+
+	code, out = getJSON(t, ts.URL+"/v1/wm?class=Hit")
+	if code != http.StatusOK || out["count"].(float64) != 1 {
+		t.Fatalf("wm Hit: %d %v", code, out)
+	}
+	code, out = getJSON(t, ts.URL+"/v1/wm")
+	if code != http.StatusOK || out["classes"].(map[string]any)["Item"].(float64) != 1 {
+		t.Fatalf("wm summary: %d %v", code, out)
+	}
+
+	if code, out, _ = postJSON(t, ts.URL+"/v1/quel", `{"stmt":"range of i is Item"}`); code != http.StatusOK {
+		t.Fatalf("quel range: %d %v", code, out)
+	}
+	code, out, _ = postJSON(t, ts.URL+"/v1/quel", `{"stmt":"retrieve (i.id, i.qty)"}`)
+	if code != http.StatusOK || len(out["rows"].([]any)) != 1 {
+		t.Fatalf("quel: %d %v", code, out)
+	}
+
+	code, out = getJSON(t, ts.URL+"/v1/plans?rule=hot")
+	if code != http.StatusOK || len(out["plans"].([]any)) == 0 {
+		t.Fatalf("plans: %d %v", code, out)
+	}
+	if code, out = getJSON(t, ts.URL+"/v1/plans"); code != http.StatusOK || len(out["rules"].([]any)) != 1 {
+		t.Fatalf("plans list: %d %v", code, out)
+	}
+
+	code, out, _ = postJSON(t, ts.URL+"/v1/audit", `{}`)
+	if code != http.StatusOK || out["clean"] != true {
+		t.Fatalf("audit: %d %v", code, out)
+	}
+
+	code, out = getJSON(t, ts.URL+"/v1/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if sv := out["Server"].(map[string]any); sv["Admitted"].(float64) < 3 {
+		t.Fatalf("metrics admitted: %v", sv)
+	}
+
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := fmt.Fscan(resp.Body, &sb); err == nil && resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz: %d", resp.StatusCode)
+	}
+
+	if code, out = getJSON(t, ts.URL+"/healthz"); code != http.StatusOK || out["status"] != "serving" {
+		t.Fatalf("healthz: %d %v", code, out)
+	}
+	if code, _ = getJSON(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz: %d", code)
+	}
+}
+
+// TestBadRequests checks caller-mistake mapping: unknown op, unknown
+// class (404), malformed JSON, empty quel.
+func TestBadRequests(t *testing.T) {
+	_, ts := newServer(t, Config{}, prodsys.Options{})
+	if code, _, _ := postJSON(t, ts.URL+"/v1/batch", `{"ops":[{"op":"upsert","class":"Item"}]}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown op: %d", code)
+	}
+	if code, _, _ := postJSON(t, ts.URL+"/v1/batch", `{"ops":[{"op":"assert","class":"Nope","values":[1]}]}`); code != http.StatusNotFound {
+		t.Fatalf("unknown class: %d", code)
+	}
+	if code, _, _ := postJSON(t, ts.URL+"/v1/batch", `{"ops":`); code != http.StatusBadRequest {
+		t.Fatalf("bad json: %d", code)
+	}
+	if code, _, _ := postJSON(t, ts.URL+"/v1/quel", `{}`); code != http.StatusBadRequest {
+		t.Fatalf("empty quel: %d", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/plans?rule=nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown rule: %d", code)
+	}
+}
+
+// TestOverloadSheds fills every execution slot and the whole wait
+// queue, then sends one more request: it must be shed with 429 and a
+// Retry-After header, and the rejection must land in the counters.
+func TestOverloadSheds(t *testing.T) {
+	srv, ts := newServer(t, Config{MaxInFlight: 1, MaxQueue: 1}, prodsys.Options{})
+
+	// Occupy the single slot and the single queue position directly.
+	release, err := srv.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		r, err := srv.acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		close(acquired)
+	}()
+	// Wait until the goroutine is counted in the queue (it blocks on
+	// the slot channel inside acquire).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.waiting.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.waiting.Load() < 1 {
+		t.Fatal("queued acquire never registered")
+	}
+
+	code, out, hdr := postJSON(t, ts.URL+"/v1/batch", `{"ops":[{"op":"assert","class":"Item","values":[1,1]}]}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("want 429, got %d %v", code, out)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	release()
+	<-acquired
+	if got := srv.System().Metrics().Server.Rejected; got < 1 {
+		t.Fatalf("server_rejected = %d, want >= 1", got)
+	}
+}
+
+// TestAcquireHonorsContext: a queued waiter whose context expires is
+// shed as overloaded rather than waiting forever.
+func TestAcquireHonorsContext(t *testing.T) {
+	srv, _ := newServer(t, Config{MaxInFlight: 1, MaxQueue: 4}, prodsys.Options{})
+	release, err := srv.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := srv.acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expired queue wait: %v", err)
+	}
+}
+
+// TestDrain: in-flight work finishes, new work is refused with 503,
+// the system ends closed with writes failing ErrClosed, and Drain is
+// idempotent.
+func TestDrain(t *testing.T) {
+	srv, ts := newServer(t, Config{MaxInFlight: 2, DrainTimeout: 5 * time.Second}, prodsys.Options{})
+
+	// Hold an in-flight admission so Drain must wait for it.
+	release, err := srv.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+
+	// Admissions must stop as soon as draining flips.
+	deadline := time.Now().Add(time.Second)
+	for !srv.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	code, out, _ := postJSON(t, ts.URL+"/v1/batch", `{"ops":[{"op":"assert","class":"Item","values":[7,1]}]}`)
+	if code != http.StatusServiceUnavailable || out["draining"] != true {
+		t.Fatalf("during drain: %d %v", code, out)
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("drain finished with an admission still held: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not finish after release")
+	}
+
+	if _, err := srv.System().Assert("Item", 8, 1); !errors.Is(err, prodsys.ErrClosed) {
+		t.Fatalf("write after drain: %v", err)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if got := srv.System().Metrics().Server.Drained; got < 1 {
+		t.Fatalf("server_drained = %d, want >= 1", got)
+	}
+	if code, _ = getJSON(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d", code)
+	}
+}
+
+// TestDrainPreservesCommits: transactions acknowledged before SIGTERM
+// survive — drain checkpoints and closes, and a reopen of the same WAL
+// recovers every committed tuple.
+func TestDrainPreservesCommits(t *testing.T) {
+	fs := faultfs.New()
+	opts := prodsys.Options{WALFS: fs, WALPath: "wm.wal", WALSync: prodsys.WALSyncGroup}
+	srv, ts := newServer(t, Config{}, opts)
+
+	for i := 1; i <= 8; i++ {
+		code, out, _ := postJSON(t, ts.URL+"/v1/batch",
+			fmt.Sprintf(`{"ops":[{"op":"assert","class":"Item","values":[%d,1]}]}`, i))
+		if code != http.StatusOK {
+			t.Fatalf("batch %d: %d %v", i, code, out)
+		}
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	re := load(t, opts)
+	defer re.Close()
+	if got := len(re.WMClass("Item")); got != 8 {
+		t.Fatalf("recovered %d Items, want 8 (recovery: %+v)", got, re.Recovery())
+	}
+	rep, err := re.Audit(prodsys.AuditOptions{})
+	if err != nil || !rep.Clean() {
+		t.Fatalf("post-recovery audit: clean=%v err=%v", rep != nil && rep.Clean(), err)
+	}
+}
+
+// TestReadOnlyDegradation: a dead disk flips the system read-only;
+// writes 503 with read_only, queries and audits keep serving, healthz
+// stays 200 while readyz goes 503.
+func TestReadOnlyDegradation(t *testing.T) {
+	fs := faultfs.New()
+	srv, ts := newServer(t, Config{}, prodsys.Options{WALFS: fs, WALPath: "wm.wal", WALSync: prodsys.WALSyncGroup})
+
+	code, out, _ := postJSON(t, ts.URL+"/v1/batch", `{"ops":[{"op":"assert","class":"Item","values":[1,5]}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("pre-fault batch: %d %v", code, out)
+	}
+
+	fs.FailWrite(1, 0, true) // next write call crashes the disk for good
+
+	code, out, _ = postJSON(t, ts.URL+"/v1/batch", `{"ops":[{"op":"assert","class":"Item","values":[2,5]}]}`)
+	if code != http.StatusServiceUnavailable || out["read_only"] != true {
+		t.Fatalf("post-fault batch: %d %v", code, out)
+	}
+	if !srv.System().ReadOnly() {
+		t.Fatal("system not read-only after WAL failure")
+	}
+
+	// Query service must survive degradation.
+	if code, out, _ = postJSON(t, ts.URL+"/v1/quel", `{"stmt":"range of i is Item"}`); code != http.StatusOK {
+		t.Fatalf("quel range while read-only: %d %v", code, out)
+	}
+	code, out, _ = postJSON(t, ts.URL+"/v1/quel", `{"stmt":"retrieve (i.id)"}`)
+	if code != http.StatusOK || len(out["rows"].([]any)) != 1 {
+		t.Fatalf("quel while read-only: %d %v", code, out)
+	}
+	if code, out, _ = postJSON(t, ts.URL+"/v1/audit", `{}`); code != http.StatusOK || out["clean"] != true {
+		t.Fatalf("audit while read-only: %d %v", code, out)
+	}
+	code, hb := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || hb["status"] != "read_only" || hb["cause"] == "" {
+		t.Fatalf("healthz while read-only: %d %v", code, hb)
+	}
+	if code, _ = getJSON(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while read-only: %d", code)
+	}
+	if got := srv.System().Metrics().Server.ReadOnly; got != 1 {
+		t.Fatalf("read_only counter = %d, want 1", got)
+	}
+	// Drain still works degraded: it skips the checkpoint and closes.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain while read-only: %v", err)
+	}
+}
+
+// TestConcurrentMixedLoad hammers the server from many goroutines with
+// batches, queries, and runs under group commit — a miniature of the
+// psload harness that the race detector can chew on.
+func TestConcurrentMixedLoad(t *testing.T) {
+	fs := faultfs.New()
+	srv, ts := newServer(t, Config{MaxInFlight: 8, MaxQueue: 64},
+		prodsys.Options{WALFS: fs, WALPath: "wm.wal", WALSync: prodsys.WALSyncGroup})
+
+	if code, out, _ := postJSON(t, ts.URL+"/v1/quel", `{"stmt":"range of i is Item"}`); code != http.StatusOK {
+		t.Fatalf("quel range: %d %v", code, out)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := c*100 + i
+				code, out, _ := postJSON(t, ts.URL+"/v1/batch",
+					fmt.Sprintf(`{"ops":[{"op":"assert","class":"Item","values":[%d,%d]}]}`, id, i))
+				if code != http.StatusOK && code != http.StatusTooManyRequests {
+					t.Errorf("batch: %d %v", code, out)
+					return
+				}
+				if i%5 == 0 {
+					postJSON(t, ts.URL+"/v1/quel", `{"stmt":"retrieve (i.id)"}`)
+					getJSON(t, ts.URL+"/v1/wm")
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	sn := srv.System().Metrics()
+	if sn.Server.GroupCommits == 0 {
+		t.Fatalf("no group commits under concurrent load: %+v", sn.Server)
+	}
+	if sn.Server.GroupCommits+sn.Server.GroupWaiters < sn.Durability.WALAppends {
+		t.Logf("group stats: commits=%d waiters=%d appends=%d",
+			sn.Server.GroupCommits, sn.Server.GroupWaiters, sn.Durability.WALAppends)
+	}
+	if code, out, _ := postJSON(t, ts.URL+"/v1/audit", `{}`); code != http.StatusOK || out["clean"] != true {
+		t.Fatalf("audit after load: %d %v", code, out)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -53,6 +53,7 @@ const (
 	KindAuditDivergence // one divergence between derived state and ground truth (Extra = detail)
 	KindRepair          // derived state was rebuilt after a divergence (Extra = scope)
 	KindPanicContained  // a panicking firing or maintenance step was absorbed (Extra = value)
+	KindReadOnly        // a WAL failure flipped the system read-only (Extra = cause)
 
 	kindCount
 )
@@ -81,6 +82,7 @@ var kindNames = [kindCount]string{
 	KindAuditDivergence:  "audit_divergence",
 	KindRepair:           "repair",
 	KindPanicContained:   "panic_contained",
+	KindReadOnly:         "read_only",
 }
 
 // String returns the stable snake_case name of the kind.

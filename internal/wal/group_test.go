@@ -1,0 +1,136 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"prodsys/internal/faultfs"
+	"prodsys/internal/metrics"
+)
+
+// TestGroupCommitOneSyncCoversMany is the deterministic coalescing
+// case: N units appended under SyncGroup are all made durable by a
+// single WaitDurable on the last sequence — one fsync, one group
+// commit, no per-unit syncs.
+func TestGroupCommitOneSyncCoversMany(t *testing.T) {
+	fs := faultfs.New()
+	stats := &metrics.Set{}
+	l, _ := openMem(t, fs, Options{Policy: SyncGroup, Stats: stats})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := l.AppendBatch(sampleOps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.LastSeq(); got != n {
+		t.Fatalf("LastSeq = %d, want %d", got, n)
+	}
+	if got := stats.Get(metrics.WALSyncs); got != 0 {
+		t.Fatalf("appends alone issued %d syncs", got)
+	}
+	if err := l.WaitDurable(l.LastSeq()); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Get(metrics.WALSyncs); got != 1 {
+		t.Fatalf("WALSyncs = %d, want 1", got)
+	}
+	if got := stats.Get(metrics.WALGroupCommits); got != 1 {
+		t.Fatalf("WALGroupCommits = %d, want 1", got)
+	}
+	// Waiting again for an already-durable seq is free: no new sync.
+	if err := l.WaitDurable(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Get(metrics.WALSyncs); got != 1 {
+		t.Fatalf("re-wait issued a sync: %d", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything acknowledged must be recoverable.
+	_, rec := openMem(t, fs, Options{Policy: SyncGroup, Stats: stats})
+	if len(rec.Txns) != n {
+		t.Fatalf("recovered %d units, want %d", len(rec.Txns), n)
+	}
+}
+
+// TestGroupCommitConcurrentWaiters: many goroutines committing
+// concurrently all come back durable, and the log never syncs more
+// often than it appends. Appends serialize under a mutex — the
+// engine's maintenance lock plays that role in production; WaitDurable
+// is the concurrent part (early lock release).
+func TestGroupCommitConcurrentWaiters(t *testing.T) {
+	fs := faultfs.New()
+	stats := &metrics.Set{}
+	l, _ := openMem(t, fs, Options{Policy: SyncGroup, Stats: stats})
+	const clients, each = 8, 20
+	var appendMu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				appendMu.Lock()
+				err := l.AppendBatch(sampleOps())
+				seq := l.LastSeq()
+				appendMu.Unlock()
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if err := l.WaitDurable(seq); err != nil {
+					t.Errorf("wait: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	appends := stats.Get(metrics.WALAppends)
+	syncs := stats.Get(metrics.WALSyncs)
+	if appends != clients*each {
+		t.Fatalf("appends = %d, want %d", appends, clients*each)
+	}
+	if syncs > appends {
+		t.Fatalf("syncs %d > appends %d", syncs, appends)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openMem(t, fs, Options{Policy: SyncGroup, Stats: stats})
+	if len(rec.Txns) != clients*each {
+		t.Fatalf("recovered %d units, want %d", len(rec.Txns), clients*each)
+	}
+}
+
+// TestGroupCommitSyncFailureSticks: a failed group fsync reports the
+// error to every waiter, current and future — the log is done
+// acknowledging once the disk lies.
+func TestGroupCommitSyncFailureSticks(t *testing.T) {
+	fs := faultfs.New()
+	l, _ := openMem(t, fs, Options{Policy: SyncGroup, Stats: &metrics.Set{}})
+	// Unit 1 appends cleanly but is not yet synced (group mode).
+	if err := l.AppendBatch(sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the disk on unit 2's flush: its append fails and the log
+	// position stays at unit 1 — which now can never reach stable
+	// storage.
+	fs.FailWrite(1, 0, true)
+	if err := l.AppendBatch(sampleOps()); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("append on crashing disk: %v", err)
+	}
+	if got := l.LastSeq(); got != 1 {
+		t.Fatalf("failed append advanced LastSeq to %d", got)
+	}
+	if err := l.WaitDurable(1); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("group sync on crashed disk: %v", err)
+	}
+	// The failure is sticky for later waiters too.
+	if err := l.WaitDurable(1); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("second wait after failed sync: %v", err)
+	}
+}

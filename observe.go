@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"prodsys/internal/joiner"
+	"prodsys/internal/metrics"
 	"prodsys/internal/trace"
 )
 
@@ -181,6 +182,17 @@ type DurabilityStats struct {
 	RecoveryNanos  int64 // wall time spent in recovery replay
 }
 
+// ServerStats counts server front-end and WAL group-commit operations
+// (internal/server + wal.SyncGroup).
+type ServerStats struct {
+	Admitted     int64 // requests admitted past admission control
+	Rejected     int64 // requests shed with 429 (queue full)
+	Drained      int64 // in-flight requests finished during drain
+	GroupCommits int64 // group fsyncs, each covering ≥1 waiting commit
+	GroupWaiters int64 // commits whose durability rode a group fsync
+	ReadOnly     int64 // 1 after a WAL failure flipped the system read-only
+}
+
 // IntegrityStats counts audit, repair, and fault-containment
 // operations.
 type IntegrityStats struct {
@@ -220,6 +232,7 @@ type Snapshot struct {
 	Execution  ExecutionStats
 	Batch      BatchStats
 	Durability DurabilityStats
+	Server     ServerStats
 	Integrity  IntegrityStats
 	Counters   map[string]int64
 }
@@ -247,6 +260,12 @@ func (s *System) Metrics() Snapshot {
 	}
 	return sn
 }
+
+// CounterSet exposes the live counter bag the system increments — the
+// hook the server front end uses to land its admission counters
+// (server_admitted, server_rejected, server_drained) in the same
+// Metrics() snapshot as everything else. Safe for concurrent use.
+func (s *System) CounterSet() *metrics.Set { return s.stats }
 
 // newSnapshot builds the typed sections from a raw counter map.
 func newSnapshot(m map[string]int64) Snapshot {
@@ -309,6 +328,14 @@ func newSnapshot(m map[string]int64) Snapshot {
 			RecoveryTuples: m["recovery_tuples"],
 			RecoveryNanos:  m["recovery_ns"],
 		},
+		Server: ServerStats{
+			Admitted:     m["server_admitted"],
+			Rejected:     m["server_rejected"],
+			Drained:      m["server_drained"],
+			GroupCommits: m["wal_group_commits"],
+			GroupWaiters: m["wal_group_waiters"],
+			ReadOnly:     m["read_only"],
+		},
 		Integrity: IntegrityStats{
 			AuditRuns:         m["audit_runs"],
 			AuditRulesChecked: m["audit_rules_checked"],
@@ -362,6 +389,10 @@ func (sn Snapshot) String() string {
 			fmt.Fprintf(&b, " ix(%s)=%d", ix.Attr, ix.Distinct)
 		}
 		b.WriteByte('\n')
+	}
+	if sv := sn.Server; sv.Admitted|sv.Rejected|sv.Drained|sv.GroupCommits|sv.GroupWaiters|sv.ReadOnly != 0 {
+		fmt.Fprintf(&b, "server admitted=%d rejected=%d drained=%d group_commits=%d group_waiters=%d read_only=%d\n",
+			sv.Admitted, sv.Rejected, sv.Drained, sv.GroupCommits, sv.GroupWaiters, sv.ReadOnly)
 	}
 	return b.String()
 }

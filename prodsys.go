@@ -40,6 +40,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"prodsys/internal/audit"
@@ -168,6 +169,11 @@ var (
 	// ErrArity marks an Assert with more values than the class has
 	// attributes.
 	ErrArity = relation.ErrArity
+	// ErrReadOnly marks a write rejected because a WAL failure flipped
+	// the system into read-only degraded mode; see System.ReadOnly.
+	ErrReadOnly = engine.ErrReadOnly
+	// ErrClosed marks a write attempted after System.Close.
+	ErrClosed = engine.ErrClosed
 )
 
 // Options configures a System.
@@ -177,7 +183,8 @@ type Options struct {
 	// Strategy selects the conflict-resolution strategy for serial runs;
 	// default StrategyFIFO.
 	Strategy Strategy
-	// Seed seeds the random strategy.
+	// Seed seeds the random strategy and the engine's private RNG (the
+	// deadlock-victim retry jitter), making both reproducible run-to-run.
 	Seed int64
 	// Storage selects the tuple storage backend serving every WM class;
 	// default StorageRow (or the PRODSYS_STORAGE environment variable
@@ -265,6 +272,9 @@ type System struct {
 	wal      *wal.Log      // non-nil while durability is active
 	recovery *RecoveryInfo // what Load recovered; nil without a WAL
 
+	closeMu sync.Mutex // serializes Close against itself
+	closed  bool       // Close has run; later calls return nil
+
 	aud *audit.Auditor // lazily built by Audit; keeps the sampling cursor
 }
 
@@ -350,6 +360,7 @@ func Load(src string, opts Options) (*System, error) {
 		SetAtATime:  opts.SetAtATime,
 		Tracer:      tr,
 		TxnTimeout:  opts.TxnTimeout,
+		Seed:        opts.Seed,
 	})
 	if err := sys.openWAL(opts); err != nil {
 		return nil, err
