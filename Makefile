@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-storage bench bench-storage bench-planner check fmt fuzz-short trace-demo crash-demo audit-demo soak-demo
+.PHONY: build test test-storage test-shards bench bench-storage bench-planner bench-shard check fmt fuzz-short trace-demo crash-demo audit-demo soak-demo
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,13 @@ test:
 test-storage:
 	PRODSYS_STORAGE=row $(GO) test ./...
 	PRODSYS_STORAGE=columnar $(GO) test ./...
+
+# test-shards runs the tier-1 suite once unsharded and once with every
+# relation hash-partitioned four ways; PRODSYS_SHARDS sets the
+# process-wide default shard count (docs/SHARDING.md).
+test-shards:
+	PRODSYS_SHARDS=1 $(GO) test ./...
+	PRODSYS_SHARDS=4 $(GO) test ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -29,6 +36,15 @@ bench-storage:
 # results to BENCH_7.json.
 bench-planner:
 	$(GO) run ./cmd/psbench -planner-bench BENCH_7.json
+
+# bench-shard runs the shard-scaling benchmark — the payroll insert
+# batch on a 4-way sharded catalog at 1/2/4/8 scheduler workers vs the
+# unsharded serial baseline — printing the table and writing the
+# results (with the runner's CPU count) to BENCH_9.json. The speedup
+# column is bounded by the runner's cores; EXPERIMENTS.md E17 records
+# the interpretation.
+bench-shard:
+	$(GO) run ./cmd/psbench -shard-bench BENCH_9.json
 
 # check is the extended verification: static analysis, formatting, and
 # the full test suite under the race detector. staticcheck runs when

@@ -14,6 +14,12 @@
 //	  storage benchmark: payroll insert batch crossed over backend
 //	  (row|columnar) × index availability × matcher, printed as a table
 //	  and written to the named file as JSON
+//
+//	psbench -shard-bench BENCH_9.json
+//	  shard-scaling benchmark: the payroll insert batch on a 4-way
+//	  sharded catalog at 1/2/4/8 scheduler workers vs the unsharded
+//	  serial baseline, printed as a table and written to the named
+//	  file as JSON (the runner's CPU count is recorded per row)
 package main
 
 import (
@@ -145,6 +151,22 @@ func plannerBench(path string, scale float64) error {
 	return nil
 }
 
+// shardBench runs the shard-scaling benchmark and writes the results
+// to path as JSON, printing the aligned table to stdout.
+func shardBench(path string, ruleCount, nOps int) error {
+	rows := experiments.ShardBench(ruleCount, nOps)
+	fmt.Print(experiments.ShardTable(rows).String())
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nshard benchmark written to %s\n", path)
+	return nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (0 < scale ≤ 1 for quicker runs)")
 	exps := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
@@ -156,7 +178,18 @@ func main() {
 	storageRules := flag.Int("storage-rules", 50, "rule count for the storage benchmark")
 	storageOps := flag.Int("storage-ops", 1500, "operation count for the storage benchmark")
 	plannerOut := flag.String("planner-bench", "", "run the join-planner benchmark and write JSON results to this path")
+	shardOut := flag.String("shard-bench", "", "run the shard-scaling benchmark and write JSON results to this path")
+	shardRules := flag.Int("shard-rules", 50, "rule count for the shard-scaling benchmark")
+	shardOps := flag.Int("shard-ops", 1500, "operation count for the shard-scaling benchmark")
 	flag.Parse()
+
+	if *shardOut != "" {
+		if err := shardBench(*shardOut, *shardRules, *shardOps); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *plannerOut != "" {
 		if err := plannerBench(*plannerOut, *scale); err != nil {

@@ -46,6 +46,7 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 32, "server max in-flight (with -spawn)")
 	maxQueue := flag.Int("max-queue", 128, "server max queue (with -spawn)")
 	chaos := flag.Bool("chaos", false, "SIGKILL the server mid-load, restart, verify recovery (needs -spawn and -wal)")
+	shards := flag.Int("shards", 0, "forwarded to the spawned psserve as -shards (with -spawn)")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	label := flag.String("label", "mixed", "workload label recorded in the report")
 	out := flag.String("out", "", "append the JSON report to this file (array of runs)")
@@ -73,7 +74,7 @@ func main() {
 	if *spawn {
 		srv = &serverProc{
 			bin: *psserve, addr: *addr, program: *program, wal: *walPath,
-			maxInFlight: *maxInFlight, maxQueue: *maxQueue,
+			maxInFlight: *maxInFlight, maxQueue: *maxQueue, shards: *shards,
 		}
 		if err := srv.start(); err != nil {
 			fmt.Fprintf(os.Stderr, "psload: spawn: %v\n", err)
@@ -471,6 +472,7 @@ func (h *harness) fill(rep *report) {
 type serverProc struct {
 	bin, addr, program, wal string
 	maxInFlight, maxQueue   int
+	shards                  int
 	cmd                     *exec.Cmd
 }
 
@@ -480,6 +482,7 @@ func (p *serverProc) start() error {
 		"-wal-sync", "group",
 		"-max-inflight", strconv.Itoa(p.maxInFlight),
 		"-max-queue", strconv.Itoa(p.maxQueue),
+		"-shards", strconv.Itoa(p.shards),
 	)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr

@@ -273,6 +273,44 @@ func (s *Set) Items() []*Instantiation {
 	return out
 }
 
+// Sequence returns the current arrival-sequence high-water mark. The
+// parallel match scheduler records it before fanning a batch out to
+// concurrent shard workers, then calls Canonicalize with it afterwards.
+func (s *Set) Sequence() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Canonicalize re-assigns the arrival sequence numbers of every
+// instantiation added after mark, in sorted-key order. Concurrent shard
+// workers race to insert, so raw Seq values depend on scheduling; the
+// set MEMBERSHIP is order-independent (every derivation evaluates
+// against final WM state), and re-sequencing the batch's additions by
+// key makes recency-based selection deterministic too — a sharded run
+// selects exactly what an unsharded run would.
+func (s *Set) Canonicalize(mark uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k, in := range s.items {
+		if in.Seq > mark {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		s.seq = mark
+		return
+	}
+	sort.Strings(keys)
+	seq := mark
+	for _, k := range keys {
+		seq++
+		s.items[k].Seq = seq
+	}
+	s.seq = seq
+}
+
 // Keys returns the sorted keys of the live instantiations; the primary
 // tool of the cross-matcher agreement tests.
 func (s *Set) Keys() []string {

@@ -92,15 +92,16 @@ func (m *Matcher) AuditDerived(db *relation.DB, only map[string]bool, emit func(
 	}
 	sort.Strings(classes)
 	for _, class := range classes {
-		st := m.stores[class]
-		st.mu.Lock()
-		keys := make([]string, 0, len(st.byKey))
-		for k := range st.byKey {
+		// Shard partitions hold disjoint slices of each pattern's support;
+		// the ground truth is per merged pattern, so audit the union.
+		merged := m.stores[class].mergeByKey()
+		keys := make([]string, 0, len(merged))
+		for k := range merged {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, key := range keys {
-			p := st.byKey[key]
+			p := merged[key]
 			rname := p.ce.Rule.Name
 			if only != nil && !only[rname] {
 				continue
@@ -142,7 +143,6 @@ func (m *Matcher) AuditDerived(db *relation.DB, only map[string]bool, emit func(
 				}
 			}
 		}
-		st.mu.Unlock()
 	}
 	// Whatever ground truth remains was never materialized.
 	left := make([]string, 0, len(exp))
@@ -163,31 +163,33 @@ func (m *Matcher) AuditDerived(db *relation.DB, only map[string]bool, emit func(
 // over the WM relations. only == nil rebuilds every rule.
 func (m *Matcher) RebuildRules(db *relation.DB, only map[string]bool) error {
 	sel := func(r *rules.Rule) bool { return only == nil || only[r.Name] }
-	for _, st := range m.stores {
-		st.mu.Lock()
-		for key, p := range st.byKey {
-			if !sel(p.ce.Rule) {
-				continue
-			}
-			if p.original {
-				p.support = make(map[int]idSet)
-				continue
-			}
-			delete(st.byKey, key)
-		}
-		for k, list := range st.byCE {
-			if !sel(k.rule) {
-				continue
-			}
-			kept := list[:0]
-			for _, p := range list {
-				if p.original {
-					kept = append(kept, p)
+	for _, cst := range m.stores {
+		cst.all(func(st *store) {
+			st.mu.Lock()
+			for key, p := range st.byKey {
+				if !sel(p.ce.Rule) {
+					continue
 				}
+				if p.original {
+					p.support = make(map[int]idSet)
+					continue
+				}
+				delete(st.byKey, key)
 			}
-			st.byCE[k] = kept
-		}
-		st.mu.Unlock()
+			for k, list := range st.byCE {
+				if !sel(k.rule) {
+					continue
+				}
+				kept := list[:0]
+				for _, p := range list {
+					if p.original {
+						kept = append(kept, p)
+					}
+				}
+				st.byCE[k] = kept
+			}
+			st.mu.Unlock()
+		})
 	}
 	m.refMu.Lock()
 	for wk, slots := range m.byTuple {
@@ -220,7 +222,7 @@ func (m *Matcher) RebuildRules(db *relation.DB, only map[string]bool) error {
 			src := src
 			rel.Scan(func(id relation.TupleID, t relation.Tuple) bool {
 				if tb, ok := src.MatchPattern(t, nil); ok {
-					m.propagate(src, id, t, tb)
+					m.propagate(src, id, tb, m.shardOf(src.Class, t))
 				}
 				return true
 			})
@@ -245,19 +247,20 @@ func (m *Matcher) CorruptDerived(rng *rand.Rand) string {
 	}
 	var cands []cand
 	for _, class := range classes {
-		st := m.stores[class]
-		st.mu.Lock()
-		keys := make([]string, 0, len(st.byKey))
-		for k, p := range st.byKey {
-			if !p.original && len(p.support) > 0 {
-				keys = append(keys, k)
+		m.stores[class].all(func(st *store) {
+			st.mu.Lock()
+			keys := make([]string, 0, len(st.byKey))
+			for k, p := range st.byKey {
+				if !p.original && len(p.support) > 0 {
+					keys = append(keys, k)
+				}
 			}
-		}
-		sort.Strings(keys)
-		st.mu.Unlock()
-		for _, k := range keys {
-			cands = append(cands, cand{st: st, key: k})
-		}
+			sort.Strings(keys)
+			st.mu.Unlock()
+			for _, k := range keys {
+				cands = append(cands, cand{st: st, key: k})
+			}
+		})
 	}
 	if len(cands) == 0 {
 		return ""

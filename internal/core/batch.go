@@ -8,16 +8,26 @@ import (
 	"prodsys/internal/relation"
 	"prodsys/internal/rules"
 	"prodsys/internal/trace"
+	"prodsys/internal/value"
 )
 
 // This file is the matching-pattern algorithm's set-oriented path: one
 // batch of same-class WM changes is maintained with one COND-relation
 // scan per (class, condition element) pair, propagation grouped so every
-// target COND relation is locked (and, under simulated I/O, written) once
-// per batch, and — for deletions — one re-derivation per negatively
+// target COND partition is locked (and, under simulated I/O, written)
+// once per batch, and — for deletions — one re-derivation per negatively
 // dependent rule per batch. This is the set-at-a-time processing the
 // paper claims as the DBMS advantage (§4.2, §5.1), applied to the
 // maintenance process itself.
+//
+// The path is split into a maintenance half (support withdrawal +
+// pattern propagation, mutating COND state only) and a detection half
+// (conflict-set updates only). The classic BatchMatcher entry points
+// run both halves back to back; the match.Shardable entry points
+// (ShardMaintain/ShardDetect) expose them separately so the engine's
+// parallel scheduler can run all shards' maintenance to a barrier
+// before any shard detects — the ordering that makes concurrent
+// per-shard processing equivalent to the serial path.
 
 // contribution is one projected matching pattern awaiting upsert into a
 // target condition element's COND relation.
@@ -25,6 +35,14 @@ type contribution struct {
 	srcIdx int
 	id     relation.TupleID
 	bind   rules.Bindings
+}
+
+// groupKey batches contributions per (target CE, contributing shard):
+// one group maps to exactly one COND partition, so concurrent shard
+// workers never contend on a partition lock.
+type groupKey struct {
+	k     ceKey
+	shard int
 }
 
 // InsertBatch implements match.BatchMatcher. Unlike the tuple-at-a-time
@@ -36,12 +54,16 @@ type contribution struct {
 // ordering would, and the verification join filters the extra candidates
 // exactly as it filters false drops.
 func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error {
-	st := m.stores[class]
-	ces := m.set.ByClass[class]
+	m.sweepNegated(class, entries)
+	m.maintainInserts(class, entries)
+	m.detectInserts(class, entries)
+	return nil
+}
 
-	// Negated condition elements: one conflict-set sweep per CE per batch
-	// retracts every instantiation some batch tuple now blocks.
-	for _, ce := range ces {
+// sweepNegated retracts, once per negated condition element per batch,
+// every instantiation some batch tuple now blocks.
+func (m *Matcher) sweepNegated(class string, entries []relation.DeltaEntry) {
+	for _, ce := range m.set.ByClass[class] {
 		if !ce.Negated {
 			continue
 		}
@@ -59,13 +81,16 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 			return false
 		})
 	}
+}
 
-	// Maintenance: project every batch tuple's bindings onto its related
-	// condition elements, grouping the contributions per target CE so each
-	// target COND relation is touched once per batch.
-	grouped := make(map[ceKey][]contribution)
-	var order []ceKey
-	for _, ce := range ces {
+// maintainInserts is the maintenance half of an insert batch: project
+// every batch tuple's bindings onto its related condition elements,
+// grouping the contributions per (target CE, shard) so each target COND
+// partition is touched once per batch.
+func (m *Matcher) maintainInserts(class string, entries []relation.DeltaEntry) {
+	grouped := make(map[groupKey][]contribution)
+	var order []groupKey
+	for _, ce := range m.set.ByClass[class] {
 		if ce.Negated {
 			continue
 		}
@@ -78,6 +103,7 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 			if !ok {
 				continue
 			}
+			shard := m.shardOf(class, e.Tuple)
 			for _, j := range targets {
 				target := ce.Rule.CEs[j]
 				proj := rules.Bindings{}
@@ -89,11 +115,11 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 				if len(proj) == 0 {
 					continue
 				}
-				k := ceKey{rule: ce.Rule, ce: j}
-				if _, seen := grouped[k]; !seen {
-					order = append(order, k)
+				gk := groupKey{k: ceKey{rule: ce.Rule, ce: j}, shard: shard}
+				if _, seen := grouped[gk]; !seen {
+					order = append(order, gk)
 				}
-				grouped[k] = append(grouped[k], contribution{srcIdx: ce.Index, id: e.ID, bind: proj})
+				grouped[gk] = append(grouped[gk], contribution{srcIdx: ce.Index, id: e.ID, bind: proj})
 			}
 		}
 	}
@@ -103,39 +129,102 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 			m.upsertMany(order[i], grouped[order[i]])
 		})
 	} else {
-		for _, k := range order {
-			m.upsertMany(k, grouped[k])
+		for _, gk := range order {
+			m.upsertMany(gk, grouped[gk])
 		}
 	}
+}
 
-	// Detection: one COND-relation scan per condition element for the
-	// whole batch; the conflict set is fed incrementally as candidates
-	// survive verification.
-	for _, ce := range ces {
+// condHashJoinMin is the COND snapshot size below which detectInserts
+// keeps the plain nested-loop scan: building the hash buckets costs one
+// pass over the snapshot, which only pays off once the per-entry scan it
+// replaces is larger than that.
+const condHashJoinMin = 16
+
+// detectInserts is the detection half of an insert batch: one
+// COND-relation pass per condition element for the whole batch (across
+// every shard partition); the conflict set is fed incrementally as
+// candidates survive verification. The batch is hash-joined against the
+// snapshot on the condition element's first equality variable: a pattern
+// binding that variable can only match tuples carrying the OPS5-equal
+// value at the variable's attribute, so each entry probes one bucket
+// plus the patterns leaving the variable unbound, instead of scanning
+// the whole snapshot — which matters doubly under the sharded two-phase
+// schedule, where detection always sees the complete post-batch COND
+// state rather than the thinner mid-batch snapshots of the interleaved
+// serial path.
+func (m *Matcher) detectInserts(class string, entries []relation.DeltaEntry) {
+	st := m.stores[class]
+	for _, ce := range m.set.ByClass[class] {
 		if ce.Negated {
 			continue
 		}
 		m.stats.Inc(metrics.PatternSearches)
 		k := ceKey{rule: ce.Rule, ce: ce.Index}
 		pats := st.snapshot(k)
+		// The probe variable is the equality variable bound by the most
+		// patterns — patterns projected from a joining condition element
+		// bind the join variables, not this element's locally-bound ones,
+		// so the choice has to follow the data, not the source order.
+		probePos, probeVar := -1, ""
+		if len(pats) >= condHashJoinMin {
+			bestCount := 0
+			seen := map[string]bool{}
+			for _, vt := range ce.VarTests {
+				if vt.Op != value.OpEq || seen[vt.Var] {
+					continue
+				}
+				seen[vt.Var] = true
+				n := 0
+				for _, p := range pats {
+					if _, ok := p.bind[vt.Var]; ok {
+						n++
+					}
+				}
+				if n > bestCount {
+					probePos, probeVar, bestCount = vt.Pos, vt.Var, n
+				}
+			}
+		}
+		var buckets map[value.V][]*pattern
+		var residual []*pattern
+		if probePos >= 0 {
+			buckets = make(map[value.V][]*pattern)
+			for _, p := range pats {
+				if bv, ok := p.bind[probeVar]; ok {
+					buckets[bv.Key()] = append(buckets[bv.Key()], p)
+				} else {
+					residual = append(residual, p)
+				}
+			}
+		}
 		var checked int64
 		var fires []relation.DeltaEntry
 		t0 := m.tr.Now()
 		for _, e := range entries {
 			var matchedAny bool
 			marks := map[int]bool{}
-			for _, p := range pats {
-				m.stats.Inc(metrics.CandidateChecks)
-				checked++
-				if _, ok := ce.MatchPattern(e.Tuple, p.bind); !ok {
-					continue
-				}
-				matchedAny = true
-				for y, ids := range p.support {
-					if len(ids) > 0 {
-						marks[y] = true
+			scan := func(list []*pattern) {
+				for _, p := range list {
+					checked++
+					if _, ok := ce.MatchPattern(e.Tuple, p.bind); !ok {
+						continue
+					}
+					matchedAny = true
+					for y, ids := range p.support {
+						if len(ids) > 0 {
+							marks[y] = true
+						}
 					}
 				}
+			}
+			if buckets != nil {
+				if probePos < len(e.Tuple) {
+					scan(buckets[e.Tuple[probePos].Key()])
+				}
+				scan(residual)
+			} else {
+				scan(pats)
 			}
 			if !matchedAny {
 				continue
@@ -151,6 +240,7 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 				fires = append(fires, e)
 			}
 		}
+		m.stats.Add(metrics.CandidateChecks, checked)
 		if m.tr.Enabled() {
 			m.tr.Emit(trace.Event{
 				Kind: trace.KindCondScan, At: t0, Dur: m.tr.Now() - t0,
@@ -161,16 +251,16 @@ func (m *Matcher) InsertBatch(class string, entries []relation.DeltaEntry) error
 			m.verifyAndEmit(ce, e.ID, e.Tuple)
 		}
 	}
-	return nil
 }
 
-// upsertMany applies a batch of contributions to one target condition
-// element's COND relation under a single store lock (and, when simulated
-// I/O is configured, a single page write), then records the new support
-// links under a single reverse-index lock.
-func (m *Matcher) upsertMany(k ceKey, contribs []contribution) {
+// upsertMany applies a batch of contributions to one COND partition
+// under a single store lock (and, when simulated I/O is configured, a
+// single page write), then records the new support links under a single
+// reverse-index lock.
+func (m *Matcher) upsertMany(gk groupKey, contribs []contribution) {
+	k := gk.k
 	target := k.rule.CEs[k.ce]
-	tst := m.stores[target.Class]
+	tst := m.stores[target.Class].subs[gk.shard]
 	m.stats.Add(metrics.MaintenanceOps, int64(len(contribs)))
 	t0 := m.tr.Now()
 	if m.tr.Enabled() {
@@ -222,18 +312,28 @@ func (m *Matcher) upsertMany(k ceKey, contribs []contribution) {
 	}
 	m.refMu.Lock()
 	for _, l := range links {
-		m.byTuple[l.wk] = append(m.byTuple[l.wk], patSlot{p: l.p, ceIdx: l.srcIdx})
+		m.byTuple[l.wk] = append(m.byTuple[l.wk], patSlot{p: l.p, ceIdx: l.srcIdx, st: tst})
 	}
 	m.refMu.Unlock()
 }
 
 // DeleteBatch implements match.BatchMatcher: every batch tuple's support
-// withdrawals are grouped per COND relation, instantiations are retracted
-// per tuple, and rules negatively dependent on the class are re-derived
-// once for the whole batch instead of once per deleted tuple.
+// withdrawals are grouped per COND partition, instantiations are
+// retracted per tuple, and rules negatively dependent on the class are
+// re-derived once for the whole batch instead of once per deleted tuple.
 func (m *Matcher) DeleteBatch(class string, entries []relation.DeltaEntry) error {
-	// Collect every support slot fed by a batch tuple under one
-	// reverse-index lock.
+	m.withdrawDeletes(class, entries)
+	m.detectDeletes(class, entries)
+	return nil
+}
+
+// withdrawDeletes is the maintenance half of a delete batch: the
+// support slots fed by the batch tuples are withdrawn (the counter
+// decrement of §4.2.2), grouped per COND partition — one lock
+// acquisition per touched partition per batch. Because a tuple's
+// contributions live only on its own shard's partitions, a per-shard
+// sub-batch touches no other shard's COND state.
+func (m *Matcher) withdrawDeletes(class string, entries []relation.DeltaEntry) {
 	type slotRef struct {
 		slot patSlot
 		id   relation.TupleID
@@ -249,12 +349,10 @@ func (m *Matcher) DeleteBatch(class string, entries []relation.DeltaEntry) error
 	}
 	m.refMu.Unlock()
 
-	// Withdraw support grouped per COND relation: one lock acquisition per
-	// touched store per batch.
 	byStore := make(map[*store][]slotRef)
 	var storeOrder []*store
 	for _, sr := range slots {
-		st := m.stores[sr.slot.p.ce.Class]
+		st := sr.slot.st
 		if _, seen := byStore[st]; !seen {
 			storeOrder = append(storeOrder, st)
 		}
@@ -287,12 +385,16 @@ func (m *Matcher) DeleteBatch(class string, entries []relation.DeltaEntry) error
 		}
 		st.mu.Unlock()
 	}
+}
 
+// detectDeletes is the detection half of a delete batch: retract the
+// instantiations built on the deleted tuples and re-derive negatively
+// dependent rules — once per rule per batch — against final WM state.
+func (m *Matcher) detectDeletes(class string, entries []relation.DeltaEntry) {
 	for _, e := range entries {
 		m.cs.RemoveByTuple(class, e.ID)
 	}
 
-	// One re-derivation per negatively dependent rule per batch.
 	seen := map[*rules.Rule]bool{}
 	for _, ce := range m.set.ByClass[class] {
 		if !ce.Negated || seen[ce.Rule] {
@@ -310,6 +412,44 @@ func (m *Matcher) DeleteBatch(class string, entries []relation.DeltaEntry) error
 				Kind: trace.KindJoinEval, At: t0, Dur: m.tr.Now() - t0,
 				Rule: ce.Rule.Name, CE: ce.Index, Class: class, Count: found,
 			})
+		}
+	}
+}
+
+// ShardMaintain implements match.Shardable phase 1 for one shard's
+// sub-delta: COND-state maintenance only. Every touched partition
+// belongs to this sub-delta's shard, so concurrent workers are
+// contention-free on COND locks (the reverse index is the one shared
+// structure, taken once per class per direction).
+func (m *Matcher) ShardMaintain(d *relation.Delta) error {
+	classes := d.Classes()
+	for _, class := range classes {
+		if e := d.Deletes(class); len(e) > 0 {
+			m.withdrawDeletes(class, e)
+		}
+	}
+	for _, class := range classes {
+		if e := d.Inserts(class); len(e) > 0 {
+			m.maintainInserts(class, e)
+		}
+	}
+	return nil
+}
+
+// ShardDetect implements match.Shardable phase 2 for one shard's
+// sub-delta: conflict-set updates against the complete post-batch COND
+// state (all shards' maintenance has run — the engine's barrier).
+func (m *Matcher) ShardDetect(d *relation.Delta) error {
+	classes := d.Classes()
+	for _, class := range classes {
+		if e := d.Deletes(class); len(e) > 0 {
+			m.detectDeletes(class, e)
+		}
+	}
+	for _, class := range classes {
+		if e := d.Inserts(class); len(e) > 0 {
+			m.sweepNegated(class, e)
+			m.detectInserts(class, e)
 		}
 	}
 	return nil

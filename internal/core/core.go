@@ -76,7 +76,7 @@ func patternKey(ce *rules.CE, bind rules.Bindings) string {
 	return fmt.Sprintf("%s|%d|%s", ce.Rule.Name, ce.CEN(), bind.Key())
 }
 
-// store is the COND relation of one class.
+// store is one partition of a COND relation.
 type store struct {
 	mu    sync.Mutex
 	byCE  map[ceKey][]*pattern
@@ -87,11 +87,55 @@ func newStore() *store {
 	return &store{byCE: make(map[ceKey][]*pattern), byKey: make(map[string]*pattern)}
 }
 
-// snapshot copies the pattern list for one condition element.
-func (s *store) snapshot(k ceKey) []*pattern {
+// snapshotInto appends a copy of the pattern list for one condition
+// element to dst.
+func (s *store) snapshotInto(k ceKey, dst []*pattern) []*pattern {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]*pattern(nil), s.byCE[k]...)
+	return append(dst, s.byCE[k]...)
+}
+
+// classStore is the COND relation of one class, partitioned by the
+// shard of the contributing WM tuple: subs[i] holds the matching
+// patterns projected from shard-i tuples, so per-shard maintenance
+// (phase 1 of match.Shardable) touches exactly one partition per worker
+// and workers never contend on a COND store lock. orig holds the
+// original COND tuples seeded at construction; they never gain support
+// (propagation always projects a non-empty binding) and are immutable
+// after New. Detection takes the union across orig and every partition
+// — the same mark union §4.2.3 already takes across singly-sourced
+// patterns, so a pattern key split across shards (each side carrying
+// the support its own shard contributed) detects identically to the
+// unsharded single pattern.
+type classStore struct {
+	orig *store
+	subs []*store
+}
+
+func newClassStore(shards int) *classStore {
+	cs := &classStore{orig: newStore(), subs: make([]*store, shards)}
+	for i := range cs.subs {
+		cs.subs[i] = newStore()
+	}
+	return cs
+}
+
+// snapshot copies the pattern lists for one condition element across
+// the originals and every shard partition.
+func (cs *classStore) snapshot(k ceKey) []*pattern {
+	pats := cs.orig.snapshotInto(k, nil)
+	for _, sub := range cs.subs {
+		pats = sub.snapshotInto(k, pats)
+	}
+	return pats
+}
+
+// all visits every partition including the originals.
+func (cs *classStore) all(fn func(*store)) {
+	fn(cs.orig)
+	for _, sub := range cs.subs {
+		fn(sub)
+	}
 }
 
 // wmeKey identifies a working-memory tuple.
@@ -100,10 +144,13 @@ type wmeKey struct {
 	id    relation.TupleID
 }
 
-// patSlot locates one support entry of a pattern.
+// patSlot locates one support entry of a pattern, together with the
+// COND partition holding it (the shard partition the supporting tuple
+// contributed to), so withdrawal locks exactly that partition.
 type patSlot struct {
 	p     *pattern
 	ceIdx int
+	st    *store
 }
 
 // Matcher is the matching-pattern matcher.
@@ -112,7 +159,8 @@ type Matcher struct {
 	db       *relation.DB
 	cs       *conflict.Set
 	stats    *metrics.Set
-	stores   map[string]*store
+	stores   map[string]*classStore
+	nShards  int
 	parallel bool
 	ioDelay  time.Duration
 	tr       *trace.Tracer
@@ -160,7 +208,8 @@ func New(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set, 
 		db:           db,
 		cs:           cs,
 		stats:        stats,
-		stores:       make(map[string]*store),
+		stores:       make(map[string]*classStore),
+		nShards:      1,
 		contributors: make(map[*rules.CE][]int),
 		targets:      make(map[*rules.CE][]int),
 		byTuple:      make(map[wmeKey][]patSlot),
@@ -168,8 +217,13 @@ func New(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set, 
 	for _, o := range opts {
 		o(m)
 	}
+	if db != nil {
+		if n := db.ShardSpace(); n > 1 {
+			m.nShards = n
+		}
+	}
 	for name := range set.Classes {
-		m.stores[name] = newStore()
+		m.stores[name] = newClassStore(m.nShards)
 	}
 	for _, r := range set.Rules {
 		for _, ce := range r.CEs {
@@ -183,7 +237,7 @@ func New(set *rules.Set, db *relation.DB, cs *conflict.Set, stats *metrics.Set, 
 				original: true,
 			}
 			p.key = patternKey(ce, p.bind)
-			st := m.stores[ce.Class]
+			st := m.stores[ce.Class].orig
 			k := ceKey{rule: r, ce: ce.Index}
 			st.byCE[k] = append(st.byCE[k], p)
 			st.byKey[p.key] = p
@@ -252,10 +306,22 @@ func (m *Matcher) Name() string {
 // ConflictSet implements match.Matcher.
 func (m *Matcher) ConflictSet() *conflict.Set { return m.cs }
 
+// shardOf maps a WM tuple to the derived-state partition its
+// contributions land on — the shard of the tuple in its own class, so
+// COND partitions align with storage partitions and per-shard
+// maintenance is contention-free.
+func (m *Matcher) shardOf(class string, t relation.Tuple) int {
+	if m.nShards <= 1 {
+		return 0
+	}
+	return m.db.ShardOf(class, t)
+}
+
 // Insert implements match.Matcher. The WM relation already contains the
 // tuple.
 func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) error {
 	st := m.stores[class]
+	shard := m.shardOf(class, t)
 	for _, ce := range m.set.ByClass[class] {
 		m.stats.Inc(metrics.PatternSearches)
 		if ce.Negated {
@@ -270,7 +336,6 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 		t0 := m.tr.Now()
 		marks := map[int]bool{}
 		for _, p := range st.snapshot(k) {
-			m.stats.Inc(metrics.CandidateChecks)
 			checked++
 			if _, ok := ce.MatchPattern(t, p.bind); !ok {
 				continue
@@ -282,6 +347,7 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 				}
 			}
 		}
+		m.stats.Add(metrics.CandidateChecks, checked)
 		if m.tr.Enabled() {
 			m.tr.Emit(trace.Event{
 				Kind: trace.KindCondScan, At: t0, Dur: m.tr.Now() - t0,
@@ -308,7 +374,7 @@ func (m *Matcher) Insert(class string, id relation.TupleID, t relation.Tuple) er
 		// bound by OTHER condition elements (non-binding equality
 		// occurrences here) still project their values.
 		if tb, ok := ce.MatchPattern(t, nil); ok {
-			m.propagate(ce, id, t, tb)
+			m.propagate(ce, id, tb, shard)
 		}
 	}
 	return nil
@@ -321,7 +387,18 @@ func (m *Matcher) verifyAndEmit(ce *rules.CE, id relation.TupleID, t relation.Tu
 	var found int64
 	t0 := m.tr.Now()
 	fixed := map[int]joiner.Fixed{ce.Index: {ID: id, Tuple: t}}
-	m.pl.Enumerate(m.db, ce.Rule, fixed, nil, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
+	// Seed the join with the pinned tuple's own bindings: every emitted
+	// instantiation must carry them (the pinned condition element has to
+	// match t), and handing them to the evaluator up front lets condition
+	// elements scheduled before the pinned one probe their join indexes
+	// instead of scanning — the case where the new tuple pins a later CE
+	// and a fixed-order evaluation would otherwise open with an unbound
+	// scan of the first CE's class.
+	seed, ok := ce.MatchPattern(t, nil)
+	if !ok {
+		seed = nil
+	}
+	m.pl.Enumerate(m.db, ce.Rule, fixed, seed, m.stats, func(ids []relation.TupleID, tuples []relation.Tuple, b rules.Bindings) {
 		found++
 		m.cs.Add(&conflict.Instantiation{Rule: ce.Rule, TupleIDs: ids, Tuples: tuples, Bindings: b})
 	})
@@ -351,8 +428,9 @@ func (m *Matcher) retractBlocked(ce *rules.CE, t relation.Tuple) {
 // propagate performs the maintenance process: project the new tuple's
 // bindings onto every variable-sharing related condition element and
 // insert (or reinforce) the resulting matching pattern in that COND
-// relation, optionally in parallel.
-func (m *Matcher) propagate(ce *rules.CE, id relation.TupleID, t relation.Tuple, tb rules.Bindings) {
+// relation (on the contributing tuple's shard partition), optionally in
+// parallel.
+func (m *Matcher) propagate(ce *rules.CE, id relation.TupleID, tb rules.Bindings, shard int) {
 	targets := m.targets[ce]
 	if len(targets) == 0 {
 		return
@@ -360,12 +438,12 @@ func (m *Matcher) propagate(ce *rules.CE, id relation.TupleID, t relation.Tuple,
 	if m.parallel && len(targets) > 1 {
 		m.stats.Inc(metrics.ParallelBatches)
 		forwardPanics(len(targets), func(i int) {
-			m.propagateTo(ce, id, tb, targets[i])
+			m.propagateTo(ce, id, tb, targets[i], shard)
 		})
 		return
 	}
 	for _, j := range targets {
-		m.propagateTo(ce, id, tb, j)
+		m.propagateTo(ce, id, tb, j, shard)
 	}
 }
 
@@ -402,8 +480,9 @@ func forwardPanics(n int, fn func(i int)) {
 }
 
 // propagateTo inserts the tuple's projected matching pattern into the
-// COND relation of one related condition element.
-func (m *Matcher) propagateTo(ce *rules.CE, id relation.TupleID, tb rules.Bindings, j int) {
+// COND relation of one related condition element, on the contributing
+// tuple's shard partition.
+func (m *Matcher) propagateTo(ce *rules.CE, id relation.TupleID, tb rules.Bindings, j, shard int) {
 	m.stats.Inc(metrics.MaintenanceOps)
 	t0 := m.tr.Now()
 	if m.ioDelay > 0 {
@@ -419,7 +498,7 @@ func (m *Matcher) propagateTo(ce *rules.CE, id relation.TupleID, tb rules.Bindin
 	if len(proj) == 0 {
 		return
 	}
-	m.upsert(m.stores[target.Class], ceKey{rule: ce.Rule, ce: j}, target, proj, ce.Index, id)
+	m.upsert(m.stores[target.Class].subs[shard], ceKey{rule: ce.Rule, ce: j}, target, proj, ce.Index, id)
 	if m.tr.Enabled() {
 		m.tr.Emit(trace.Event{
 			Kind: trace.KindPatternPropagate, At: t0, Dur: m.tr.Now() - t0,
@@ -457,14 +536,15 @@ func (m *Matcher) upsert(tst *store, k ceKey, target *rules.CE, bind rules.Bindi
 	}
 	tst.mu.Unlock()
 	if !dup {
-		m.link(wmeKey{class: target.Rule.CEs[srcIdx].Class, id: id}, p, srcIdx)
+		m.link(wmeKey{class: target.Rule.CEs[srcIdx].Class, id: id}, p, srcIdx, tst)
 	}
 }
 
-// link records that the WM tuple supports pattern p at slot ceIdx.
-func (m *Matcher) link(wk wmeKey, p *pattern, ceIdx int) {
+// link records that the WM tuple supports pattern p at slot ceIdx in
+// COND partition st.
+func (m *Matcher) link(wk wmeKey, p *pattern, ceIdx int, st *store) {
 	m.refMu.Lock()
-	m.byTuple[wk] = append(m.byTuple[wk], patSlot{p: p, ceIdx: ceIdx})
+	m.byTuple[wk] = append(m.byTuple[wk], patSlot{p: p, ceIdx: ceIdx, st: st})
 	m.refMu.Unlock()
 }
 
@@ -482,7 +562,7 @@ func (m *Matcher) Delete(class string, id relation.TupleID, _ relation.Tuple) er
 
 	for _, slot := range slots {
 		p := slot.p
-		st := m.stores[p.ce.Class]
+		st := slot.st
 		st.mu.Lock()
 		if set := p.support[slot.ceIdx]; set != nil {
 			delete(set, id)
@@ -530,33 +610,78 @@ func (m *Matcher) Delete(class string, id relation.TupleID, _ relation.Tuple) er
 	return nil
 }
 
-// PatternCount reports the number of stored matching patterns (original
-// COND tuples excluded) — the space cost of §4.2.3.
+// PatternCount reports the number of distinct stored matching patterns
+// (original COND tuples excluded) — the space cost of §4.2.3. A pattern
+// key split across shard partitions (each holding the support its own
+// shard contributed) counts once, so the figure is comparable across
+// shard configurations.
 func (m *Matcher) PatternCount() int {
-	n := 0
-	for _, st := range m.stores {
+	keys := make(map[string]bool)
+	for _, cst := range m.stores {
+		cst.all(func(st *store) {
+			st.mu.Lock()
+			for k, p := range st.byKey {
+				if !p.original {
+					keys[k] = true
+				}
+			}
+			st.mu.Unlock()
+		})
+	}
+	return len(keys)
+}
+
+// mergedPattern is one COND tuple as rendered to observers: the support
+// union of every shard partition holding the same pattern key.
+type mergedPattern struct {
+	ce       *rules.CE
+	bind     rules.Bindings
+	support  map[int]idSet
+	original bool
+}
+
+// mergeByKey unions a class's patterns across the originals and every
+// shard partition, keyed by pattern key. Support ID sets are disjoint
+// across partitions (a tuple contributes only to its own shard), so the
+// union reproduces exactly the single-store state of an unsharded run.
+func (cst *classStore) mergeByKey() map[string]*mergedPattern {
+	merged := make(map[string]*mergedPattern)
+	cst.all(func(st *store) {
 		st.mu.Lock()
-		for _, p := range st.byKey {
-			if !p.original {
-				n++
+		for k, p := range st.byKey {
+			mp := merged[k]
+			if mp == nil {
+				mp = &mergedPattern{ce: p.ce, bind: p.bind, support: make(map[int]idSet), original: p.original}
+				merged[k] = mp
+			}
+			mp.original = mp.original || p.original
+			for idx, ids := range p.support {
+				set := mp.support[idx]
+				if set == nil {
+					set = make(idSet, len(ids))
+					mp.support[idx] = set
+				}
+				for id := range ids {
+					set[id] = struct{}{}
+				}
 			}
 		}
 		st.mu.Unlock()
-	}
-	return n
+	})
+	return merged
 }
 
 // DumpCond renders one class's COND relation, mirroring the tables of
 // Example 5 in the paper; used by the psbench figure commands and tests.
+// Shard partitions are merged, so the rendering is identical across
+// shard configurations.
 func (m *Matcher) DumpCond(class string) []string {
-	st := m.stores[class]
-	if st == nil {
+	cst := m.stores[class]
+	if cst == nil {
 		return nil
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	var out []string
-	for _, p := range st.byKey {
+	for _, p := range cst.mergeByKey() {
 		marks := make([]string, 0, len(p.support))
 		for ceIdx, ids := range p.support {
 			marks = append(marks, fmt.Sprintf("%s:%d×%d", p.ce.Rule.CEs[ceIdx].Class, ceIdx+1, len(ids)))

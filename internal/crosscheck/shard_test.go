@@ -1,0 +1,210 @@
+package crosscheck
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"prodsys/internal/audit"
+	"prodsys/internal/conflict"
+	"prodsys/internal/core"
+	"prodsys/internal/engine"
+	"prodsys/internal/marker"
+	"prodsys/internal/match"
+	"prodsys/internal/metrics"
+	"prodsys/internal/ptree"
+	"prodsys/internal/relation"
+	"prodsys/internal/requery"
+	"prodsys/internal/rete"
+	"prodsys/internal/rules"
+	"prodsys/internal/workload"
+)
+
+// This file validates the sharded parallel maintenance path: for every
+// matcher, an engine over a 4-way sharded catalog with a 4-worker match
+// scheduler and an unsharded serial engine consume the identical op
+// stream and must hold byte-identical conflict sets and WM after every
+// batch — and the sharded engine's derived state must pass the full
+// integrity audit. Rete matchers ride along as the serial-fallback
+// control group (they don't implement match.Shardable, so the engine
+// must transparently keep them on the classic path). Run under -race
+// this doubles as the scheduler's data-race check.
+
+// shardHarness is one engine plus the pieces the integrity audit needs.
+type shardHarness struct {
+	eng   *engine.Engine
+	set   *rules.Set
+	db    *relation.DB
+	m     match.Matcher
+	stats *metrics.Set
+}
+
+func newShardHarness(t *testing.T, src, kind string, shards, workers int) *shardHarness {
+	t.Helper()
+	set, _, err := rules.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &metrics.Set{}
+	db := relation.NewDB(stats)
+	if err := db.SetDefaultShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	if err := rules.BuildDB(set, db); err != nil {
+		t.Fatal(err)
+	}
+	cs := conflict.NewSet(stats)
+	var m match.Matcher
+	switch kind {
+	case "rete":
+		m = rete.New(set, cs, stats)
+	case "rete-shared":
+		m = rete.NewShared(set, cs, stats)
+	case "requery":
+		m = requery.New(set, db, cs, stats)
+	case "core":
+		m = core.New(set, db, cs, stats)
+	case "core-parallel":
+		m = core.New(set, db, cs, stats, core.WithParallelPropagation())
+	case "marker":
+		m = marker.New(set, db, cs, stats)
+	case "ptree":
+		m = ptree.NewMatcher(set, db, cs, stats)
+	default:
+		t.Fatalf("unknown matcher kind %q", kind)
+	}
+	eng := engine.New(set, db, m, stats, engine.Config{ShardWorkers: workers})
+	return &shardHarness{eng: eng, set: set, db: db, m: m, stats: stats}
+}
+
+// audit runs the PR 4 integrity audit over the harness's derived state.
+func (h *shardHarness) audit(t *testing.T, context string) {
+	t.Helper()
+	rep, err := audit.New(h.set, h.db, h.m, h.stats).Run(audit.Options{})
+	if err != nil {
+		t.Fatalf("%s: audit: %v", context, err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("%s: audit: %d divergences: %v", context, len(rep.Divergences), rep.Divergences)
+	}
+}
+
+// deltaBatches resolves a workload op stream into concrete DeltaOp
+// batches: deletions target a live tuple chosen by the seeded rng,
+// tracked against the deterministic ID allocation both engines share.
+func deltaBatches(seed int64, ops []workload.Op, batchSize int) [][]engine.DeltaOp {
+	rng := rand.New(rand.NewSource(seed))
+	live := map[string][]relation.TupleID{}
+	next := map[string]relation.TupleID{}
+	var batches [][]engine.DeltaOp
+	var cur []engine.DeltaOp
+	for _, op := range ops {
+		if op.Delete {
+			ids := live[op.Class]
+			if len(ids) == 0 {
+				continue
+			}
+			k := rng.Intn(len(ids))
+			id := ids[k]
+			live[op.Class] = append(ids[:k], ids[k+1:]...)
+			cur = append(cur, engine.DeltaOp{Retract: true, Class: op.Class, ID: id})
+		} else {
+			next[op.Class]++
+			live[op.Class] = append(live[op.Class], next[op.Class])
+			cur = append(cur, engine.DeltaOp{Class: op.Class, Tuple: op.Tuple.Clone()})
+		}
+		if len(cur) >= batchSize {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}
+
+// runShardEquivalence drives a sharded(4)/4-worker engine and an
+// unsharded engine over identical batches, comparing conflict-set keys
+// and WM at every batch boundary and auditing the sharded engine's
+// derived state at checkpoints and at the end.
+func runShardEquivalence(t *testing.T, src, kind string, batches [][]engine.DeltaOp) {
+	t.Helper()
+	sharded := newShardHarness(t, src, kind, 4, 4)
+	serial := newShardHarness(t, src, kind, 1, 0)
+	for b, ops := range batches {
+		gotIDs, err := sharded.eng.ApplyDelta(ops)
+		if err != nil {
+			t.Fatalf("%s batch=%d: sharded ApplyDelta: %v", kind, b, err)
+		}
+		wantIDs, err := serial.eng.ApplyDelta(ops)
+		if err != nil {
+			t.Fatalf("%s batch=%d: serial ApplyDelta: %v", kind, b, err)
+		}
+		if !reflect.DeepEqual(gotIDs, wantIDs) {
+			t.Fatalf("%s batch=%d: ids = %v, want %v", kind, b, gotIDs, wantIDs)
+		}
+		ctx := fmt.Sprintf("%s batch=%d (%d ops)", kind, b, len(ops))
+		if got, want := sharded.eng.ConflictSet().Keys(), serial.eng.ConflictSet().Keys(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: sharded conflict set = %v, serial = %v", ctx, got, want)
+		}
+		if got, want := sharded.eng.SnapshotWM(), serial.eng.SnapshotWM(); got != want {
+			t.Fatalf("%s: sharded WM:\n%s\nserial WM:\n%s", ctx, got, want)
+		}
+		if b%5 == 4 {
+			sharded.audit(t, ctx)
+		}
+	}
+	sharded.audit(t, kind+" final")
+	serial.audit(t, kind+" serial final")
+}
+
+// TestShardedBatchEquivalence checks the seven-matcher sharded vs
+// unsharded conflict-set equivalence property on the randomized payroll
+// workload (two-way joins with churn) and the Figure 1 chain workload
+// (5-way chain join, shuffled link arrival).
+func TestShardedBatchEquivalence(t *testing.T) {
+	payrollSrc := workload.PayrollRules(12, false)
+	payroll := deltaBatches(5, workload.PayrollOps(5, 300, 0.3), 12)
+	chainSrc := workload.ChainRules(5)
+	chain := deltaBatches(7, chainOps(7, 18, 5, 0.2), 12)
+	for _, kind := range batchMatcherKinds {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Run("payroll", func(t *testing.T) { runShardEquivalence(t, payrollSrc, kind, payroll) })
+			t.Run("chain", func(t *testing.T) { runShardEquivalence(t, chainSrc, kind, chain) })
+		})
+	}
+}
+
+// TestShardedSchedulerEngages asserts the parallel path actually ran
+// for a shardable matcher — a sharded core engine must record shard
+// maintenance tasks and at least one cross-shard delta — and that a
+// non-shardable matcher (rete) records none.
+func TestShardedSchedulerEngages(t *testing.T) {
+	src := workload.PayrollRules(8, false)
+	batches := deltaBatches(11, workload.PayrollOps(11, 120, 0.2), 10)
+	h := newShardHarness(t, src, "core", 4, 4)
+	r := newShardHarness(t, src, "rete", 4, 4)
+	for _, ops := range batches {
+		if _, err := h.eng.ApplyDelta(ops); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.eng.ApplyDelta(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.stats.Get(metrics.ShardMaintains); got == 0 {
+		t.Error("sharded core engine recorded no shard maintenance tasks")
+	}
+	if got := h.stats.Get(metrics.CrossShardTxns); got == 0 {
+		t.Error("sharded core engine recorded no cross-shard deltas")
+	}
+	if got := h.stats.Get(metrics.ShardCount); got != 4 {
+		t.Errorf("shards gauge = %d, want 4", got)
+	}
+	if got := r.stats.Get(metrics.ShardMaintains); got != 0 {
+		t.Errorf("rete (non-shardable) recorded %d shard tasks, want 0 (serial fallback)", got)
+	}
+}

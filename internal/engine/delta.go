@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"prodsys/internal/lock"
-	"prodsys/internal/match"
 	"prodsys/internal/metrics"
 	"prodsys/internal/relation"
 	"prodsys/internal/trace"
@@ -256,7 +255,7 @@ func (e *Engine) applyDeltaLocked(ops []DeltaOp, walOps *[]wal.Op, rec *opRecord
 			e.stats.Inc(metrics.BatchPropagations)
 		}
 	}
-	if err := match.ApplyDelta(e.matcher, delta); err != nil {
+	if err := e.maintainDelta(delta); err != nil {
 		return ids, err
 	}
 	return ids, opErr

@@ -102,6 +102,11 @@ type Config struct {
 	// jitter — so retry schedules are reproducible run-to-run under a
 	// fixed seed instead of drawing from the process-global source.
 	Seed int64
+	// ShardWorkers sizes the parallel match scheduler's worker pool when
+	// the catalog is sharded and the matcher implements match.Shardable.
+	// 0 means min(shard space, max(2, NumCPU)); negative (or a shard
+	// space of 1) disables parallel maintenance entirely.
+	ShardWorkers int
 }
 
 // Result summarizes a run.

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"prodsys/internal/conflict"
+	"prodsys/internal/core"
+	"prodsys/internal/engine"
+	"prodsys/internal/metrics"
+	"prodsys/internal/relation"
+	"prodsys/internal/rules"
+	"prodsys/internal/workload"
+)
+
+// ShardResult is one (shards, workers) cell of the shard-scaling
+// benchmark: the time to apply one payroll insert batch through the
+// parallel match scheduler, with the scheduler counters that explain
+// the shape of the run and the speedup against the unsharded baseline.
+type ShardResult struct {
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"`
+	Rules      int     `json:"rules"`
+	Ops        int     `json:"ops"`
+	NumCPU     int     `json:"num_cpu"`
+	Millis     float64 `json:"ms"`
+	Speedup    float64 `json:"speedup_vs_shard1"`
+	Maintains  int64   `json:"shard_maintains"`
+	Steals     int64   `json:"shard_steals"`
+	CrossShard int64   `json:"cross_shard_txns"`
+	Rebalances int64   `json:"shard_rebalance"`
+}
+
+// ShardBench measures how batch match maintenance scales with the
+// work-stealing scheduler's worker count: the payroll insert workload
+// applied as one ApplyDelta batch on a 4-way sharded catalog at 1, 2,
+// 4, and 8 workers, against the unsharded serial baseline. Each cell
+// is the median of three runs. Workers beyond the shard space are
+// capped to it, so the 8-worker row documents the scaling plateau.
+// NumCPU is recorded because the wall-clock speedup is bounded by the
+// runner: on a single-core host every worker count serializes and the
+// parallel rows only show scheduler overhead.
+func ShardBench(ruleCount, nOps int) []ShardResult {
+	cells := []struct{ shards, workers int }{
+		{1, 0}, {4, 1}, {4, 2}, {4, 4}, {4, 8},
+	}
+	out := make([]ShardResult, 0, len(cells))
+	var baseline float64
+	for _, c := range cells {
+		r := shardRun(c.shards, c.workers, ruleCount, nOps)
+		if c.shards == 1 {
+			baseline = r.Millis
+		}
+		if baseline > 0 {
+			r.Speedup = baseline / r.Millis
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func shardRun(shards, workers, ruleCount, nOps int) ShardResult {
+	ops := workload.PayrollOps(42, nOps, 0) // insert-only: one bulk batch
+	delta := make([]engine.DeltaOp, len(ops))
+	for i, op := range ops {
+		delta[i] = engine.DeltaOp{Class: op.Class, Tuple: op.Tuple}
+	}
+	const runs = 3
+	times := make([]float64, 0, runs)
+	var last *metrics.Set
+	for i := 0; i < runs; i++ {
+		set, _, err := rules.CompileSource(workload.PayrollRules(ruleCount, false))
+		if err != nil {
+			panic(err)
+		}
+		stats := &metrics.Set{}
+		db := relation.NewDB(stats)
+		if err := db.SetDefaultShards(shards); err != nil {
+			panic(err)
+		}
+		if err := rules.BuildDB(set, db); err != nil {
+			panic(err)
+		}
+		cs := conflict.NewSet(stats)
+		e := engine.New(set, db, core.New(set, db, cs, stats), stats,
+			engine.Config{Out: io.Discard, ShardWorkers: workers})
+		d := timeIt(func() {
+			if _, err := e.ApplyDelta(delta); err != nil {
+				panic(err)
+			}
+		})
+		times = append(times, float64(d.Nanoseconds())/float64(time.Millisecond))
+		last = stats
+	}
+	sort.Float64s(times)
+	sn := last.Snapshot()
+	return ShardResult{
+		Shards:     shards,
+		Workers:    workers,
+		Rules:      ruleCount,
+		Ops:        nOps,
+		NumCPU:     runtime.NumCPU(),
+		Millis:     times[len(times)/2],
+		Maintains:  sn.Get(metrics.ShardMaintains),
+		Steals:     sn.Get(metrics.ShardSteals),
+		CrossShard: sn.Get(metrics.CrossShardTxns),
+		Rebalances: sn.Get(metrics.ShardRebalances),
+	}
+}
+
+// ShardTable renders ShardBench results as an experiment table.
+func ShardTable(rows []ShardResult) Table {
+	t := Table{
+		ID:    "E17",
+		Title: "sharded match scheduler: worker scaling (payroll batch, median of 3)",
+		Columns: []string{
+			"shards", "workers", "rules", "ops", "total ms", "speedup",
+			"maintains", "steals", "cross-shard", "rebalances",
+		},
+		Note: fmt.Sprintf("runner has %d CPU(s); speedup is against the unsharded serial baseline and is bounded by the runner's core count", runtime.NumCPU()),
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%d", r.Rules),
+			fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%.2f", r.Millis),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%d", r.Maintains),
+			fmt.Sprintf("%d", r.Steals),
+			fmt.Sprintf("%d", r.CrossShard),
+			fmt.Sprintf("%d", r.Rebalances),
+		})
+	}
+	return t
+}

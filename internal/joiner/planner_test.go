@@ -193,6 +193,72 @@ func TestPlanCacheHitsAndDriftInvalidation(t *testing.T) {
 	}
 }
 
+// setupSharded is setup over a sharded catalog: every relation is
+// partitioned n ways before BuildDB creates it.
+func setupSharded(t *testing.T, n int) *fixture {
+	t.Helper()
+	set, _, err := rules.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &metrics.Set{}
+	db := relation.NewDB(st)
+	if err := db.SetDefaultShards(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := rules.BuildDB(set, db); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{set: set, db: db, st: st}
+}
+
+// TestDriftSeesAggregateShardCardinality pins the sharded-catalog drift
+// contract: Len()/Stats() on a partitioned relation report the aggregate
+// across shards. A per-partition figure would make a stable 200-row
+// relation look like a 4x collapse from its build-time statistics
+// (200 > 2*50+16), invalidating the plan on every checked execution;
+// and conversely could hide genuine aggregate growth.
+func TestDriftSeesAggregateShardCardinality(t *testing.T) {
+	f := setupSharded(t, 4)
+	for i := 0; i < 200; i++ {
+		f.insert(t, "Emp", value.OfSym("E"+itoa(i)), value.OfInt(int64(i)), value.OfInt(7))
+	}
+	f.insert(t, "Dept", value.OfInt(7), value.OfSym("Toy"))
+	p := NewPlanner(f.db, f.st)
+
+	collectPlanned(f, p, "Toy", nil, nil)
+	r, _ := f.set.RuleByName("Toy")
+	if s := p.Plan(r, -1).Step(0); s == nil || s.BaseRows != 200 {
+		t.Fatalf("build-time Emp cardinality = %v, want the 200-row aggregate:\n%s", s, p.Plan(r, -1))
+	}
+
+	// Stable cardinality: many checked executions, zero invalidations.
+	for i := 0; i < 4*driftCheckEvery; i++ {
+		collectPlanned(f, p, "Toy", nil, nil)
+	}
+	if got := f.st.Get(metrics.PlanInvalidations); got != 0 {
+		t.Fatalf("plan_invalidations = %d on stable sharded cardinality, want 0", got)
+	}
+	if got := f.st.Get(metrics.PlansBuilt); got != 1 {
+		t.Fatalf("plans_built = %d on stable sharded cardinality, want 1", got)
+	}
+
+	// Genuine aggregate growth (spread across all shards by the hash of
+	// the name attribute) must still trip the drift check.
+	for i := 0; i < 500; i++ {
+		f.insert(t, "Emp", value.OfSym("G"+itoa(i)), value.OfInt(int64(i)), value.OfInt(7))
+	}
+	for i := 0; i < 2*driftCheckEvery; i++ {
+		collectPlanned(f, p, "Toy", nil, nil)
+	}
+	if got := f.st.Get(metrics.PlanInvalidations); got == 0 {
+		t.Fatal("no plan invalidation despite aggregate growth across shards")
+	}
+	if s := p.Plan(r, -1).Step(0); s == nil || s.BaseRows < 700 {
+		t.Fatalf("rebuilt plan base cardinality not aggregated across shards:\n%s", p.Plan(r, -1))
+	}
+}
+
 // TestSingleAccessPathPerEvaluation checks the satellite-6 accounting
 // contract on the planned executor: an index-probed condition element
 // evaluation charges the probe and nothing else, never probe + scan.

@@ -1,0 +1,61 @@
+package match
+
+import "prodsys/internal/relation"
+
+// Shardable is the capability interface a matcher implements to declare
+// that its batch maintenance may be partitioned by working-memory shard
+// and run concurrently — declared, never guessed: the engine's parallel
+// match scheduler type-asserts for this interface and falls back to the
+// serial ApplyDelta path for matchers without it (rete and rete-shared,
+// whose ordered token propagation through shared beta prefixes is
+// inherently cross-shard).
+//
+// The contract is a two-phase protocol over per-shard sub-deltas of one
+// engine batch. The engine guarantees:
+//
+//   - every WM relation already reflects the whole batch (the standard
+//     ApplyDelta precondition), so derivations evaluate against final
+//     working-memory state;
+//   - each sub-delta contains exactly the batch entries whose tuples
+//     map to one shard (relation.DB.ShardOf), so per-shard derived
+//     state (matching patterns, support counters, marks) is touched by
+//     exactly one worker during maintenance;
+//   - ShardMaintain is invoked for every sub-delta — possibly
+//     concurrently — and ALL ShardMaintain calls complete before the
+//     first ShardDetect call (a barrier). Detection therefore observes
+//     the complete post-batch derived state, a superset of the marks
+//     any serial ordering would see; the verification join filters the
+//     extra candidates exactly as it filters false drops. Without the
+//     barrier, two shards could each scan before the other propagated
+//     and both miss a cross-shard join.
+//
+// Conflict-set membership stays byte-identical to the serial path
+// because every derivation and negation check runs against final WM
+// state, making the merge order-independent; the engine canonicalizes
+// arrival sequence numbers after the parallel phases so selection order
+// is deterministic run-to-run as well.
+type Shardable interface {
+	Matcher
+	// ShardMaintain performs phase 1 for one shard's sub-delta:
+	// derived-state maintenance only — withdraw the support fed by the
+	// sub-delta's deleted tuples, propagate the inserted tuples'
+	// bindings — without touching the conflict set. Implementations
+	// with no incremental derived state may make this a no-op.
+	ShardMaintain(d *relation.Delta) error
+	// ShardDetect performs phase 2 for one shard's sub-delta: conflict
+	// set updates — retract instantiations built on deleted tuples,
+	// sweep instantiations newly blocked by a negated condition
+	// element, detect and verify candidates for inserted tuples, and
+	// re-derive negatively dependent rules.
+	ShardDetect(d *relation.Delta) error
+}
+
+// ApplyDeltaPhased drains one sub-delta through a Shardable matcher's
+// two phases back to back — the serial (single-worker) degenerate case,
+// used by tests to check phase-split equivalence without a scheduler.
+func ApplyDeltaPhased(m Shardable, d *relation.Delta) error {
+	if err := m.ShardMaintain(d); err != nil {
+		return err
+	}
+	return m.ShardDetect(d)
+}

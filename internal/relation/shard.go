@@ -1,0 +1,346 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+
+	"prodsys/internal/value"
+)
+
+// This file implements horizontal sharding of a relation: the tuples of
+// one WM class are partitioned across N independent Store instances by a
+// hash of the shard key (the first attribute), so per-shard maintenance
+// work — the §4.2 matching-pattern check the paper calls "a
+// single-relation search, fully parallelizable" — can proceed
+// concurrently on disjoint state. The sharded store is itself a Store:
+// Relation and everything above it (planner, matchers, persistence) see
+// one relation with aggregate cardinality and statistics, while the
+// engine's parallel match scheduler uses ShardOf to split delta batches
+// into per-shard units.
+
+// MaxShards bounds the shard count of one relation. The limit exists to
+// keep per-shard fixed overhead (index maps, stores) proportionate; it
+// is far above any useful fan-out on realistic hardware.
+const MaxShards = 64
+
+// EnvShards is the environment variable naming the process-default
+// shard count (the CI shard matrix hook, mirroring PRODSYS_STORAGE).
+const EnvShards = "PRODSYS_SHARDS"
+
+// DefaultShardCount is the shard count used when none is configured:
+// the PRODSYS_SHARDS environment variable when it holds an integer in
+// [1, MaxShards], 1 (unsharded) otherwise.
+func DefaultShardCount() int {
+	if n, err := strconv.Atoi(os.Getenv(EnvShards)); err == nil && n >= 1 && n <= MaxShards {
+		return n
+	}
+	return 1
+}
+
+// ParseShards validates a shard-count setting: 0 selects the process
+// default (see DefaultShardCount), values in [1, MaxShards] pass
+// through.
+func ParseShards(n int) (int, error) {
+	switch {
+	case n == 0:
+		return DefaultShardCount(), nil
+	case n >= 1 && n <= MaxShards:
+		return n, nil
+	}
+	return 0, fmt.Errorf("shard count %d out of range [1, %d]", n, MaxShards)
+}
+
+// hashValue hashes one attribute value under OPS5 equality: values that
+// compare Equal (Int(3) vs Float(3.0), Sym vs Str of one spelling) hash
+// identically, so equal shard keys always co-locate.
+func hashValue(v value.V) uint64 {
+	k := v.Key()
+	h := fnv.New64a()
+	var tag [9]byte
+	tag[0] = byte(k.Kind())
+	switch k.Kind() {
+	case value.Int:
+		binary.LittleEndian.PutUint64(tag[1:], uint64(k.AsInt()))
+		h.Write(tag[:])
+	case value.Float:
+		binary.LittleEndian.PutUint64(tag[1:], math.Float64bits(k.AsFloat()))
+		h.Write(tag[:])
+	case value.Str, value.Sym:
+		h.Write(tag[:1])
+		h.Write([]byte(k.AsString()))
+	default: // Nil
+		h.Write(tag[:1])
+	}
+	return h.Sum64()
+}
+
+// shardOfTuple maps a tuple to its shard in [0, n): the hash of the
+// first attribute modulo the shard count. Tuples with no attributes (or
+// a nil key) land on shard 0.
+func shardOfTuple(t Tuple, n int) int {
+	if n <= 1 || len(t) == 0 {
+		return 0
+	}
+	return int(hashValue(t[0]) % uint64(n))
+}
+
+// shardedStore partitions one relation's tuples across n sub-stores of
+// a single backend kind by shardOfTuple. It implements Store, so the
+// Relation shell above is oblivious to the partitioning; aggregate
+// Len/Stats keep the planner's cardinality and drift inputs correct
+// across shards (a single shard's view would trip spurious plan
+// invalidations).
+//
+// ID-addressed operations route through byID; value-addressed equality
+// probes on the shard key route to exactly one shard, and every other
+// access fans out and merges in ascending-ID order, preserving the
+// Store contract's determinism guarantees.
+type shardedStore struct {
+	kind StorageKind
+	subs []Store
+	byID map[TupleID]uint8
+
+	// distinct tracks, per indexed attribute position, the live
+	// refcount of each key value — so aggregate Stats reports the exact
+	// distinct count across shards instead of a per-shard sum that
+	// overcounts values split across shards.
+	distinct map[int]map[value.V]int
+}
+
+// newShardedStore builds an n-way sharded store of the given backend.
+func newShardedStore(kind StorageKind, arity, n int) *shardedStore {
+	subs := make([]Store, n)
+	for i := range subs {
+		subs[i] = newStore(kind, arity)
+	}
+	return &shardedStore{
+		kind:     kind,
+		subs:     subs,
+		byID:     make(map[TupleID]uint8),
+		distinct: make(map[int]map[value.V]int),
+	}
+}
+
+func (s *shardedStore) shardOf(t Tuple) int { return shardOfTuple(t, len(s.subs)) }
+
+// Kind identifies the underlying backend; the partitioning is not a
+// distinct storage kind.
+func (s *shardedStore) Kind() StorageKind { return s.kind }
+
+// Len returns the aggregate live tuple count across every shard.
+func (s *shardedStore) Len() int { return len(s.byID) }
+
+func (s *shardedStore) Get(id TupleID) (Tuple, bool) {
+	sh, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return s.subs[sh].Get(id)
+}
+
+// countKeys adjusts the distinct refcounts for one tuple's indexed
+// attributes by delta (+1 on insert, -1 on delete).
+func (s *shardedStore) countKeys(t Tuple, delta int) {
+	for pos, counts := range s.distinct {
+		if pos >= len(t) {
+			continue
+		}
+		k := t[pos].Key()
+		if n := counts[k] + delta; n > 0 {
+			counts[k] = n
+		} else {
+			delete(counts, k)
+		}
+	}
+}
+
+func (s *shardedStore) Insert(id TupleID, t Tuple) {
+	sh := s.shardOf(t)
+	s.subs[sh].Insert(id, t)
+	s.byID[id] = uint8(sh)
+	s.countKeys(t, +1)
+}
+
+func (s *shardedStore) InsertBatch(entries []DeltaEntry) {
+	// Partition preserving order: each shard's slice keeps the batch's
+	// ascending-ID invariant, so the sub-stores' bulk paths apply.
+	parts := make([][]DeltaEntry, len(s.subs))
+	for _, e := range entries {
+		sh := s.shardOf(e.Tuple)
+		parts[sh] = append(parts[sh], e)
+		s.byID[e.ID] = uint8(sh)
+		s.countKeys(e.Tuple, +1)
+	}
+	for sh, part := range parts {
+		if len(part) > 0 {
+			s.subs[sh].InsertBatch(part)
+		}
+	}
+}
+
+func (s *shardedStore) Delete(id TupleID) (Tuple, bool) {
+	sh, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	t, ok := s.subs[sh].Delete(id)
+	if ok {
+		delete(s.byID, id)
+		s.countKeys(t, -1)
+	}
+	return t, ok
+}
+
+// IDs merges the shards' (individually ascending) ID sequences into one
+// ascending sequence — the Scan determinism contract.
+func (s *shardedStore) IDs() []TupleID {
+	out := make([]TupleID, 0, len(s.byID))
+	for _, sub := range s.subs {
+		out = append(out, sub.IDs()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *shardedStore) Scan(fn func(id TupleID, t Tuple) bool) {
+	for _, id := range s.IDs() {
+		t, ok := s.Get(id)
+		if !ok {
+			continue
+		}
+		if !fn(id, t) {
+			return
+		}
+	}
+}
+
+func (s *shardedStore) SelectEq(pos int, v value.V) ([]TupleID, bool) {
+	// An equality probe on the shard key touches exactly one shard:
+	// OPS5-equal values hash identically, so every candidate lives there.
+	if pos == 0 && len(s.subs) > 1 {
+		return s.subs[shardOfTuple(Tuple{v}, len(s.subs))].SelectEq(pos, v)
+	}
+	return s.mergeProbe(func(sub Store) ([]TupleID, bool) { return sub.SelectEq(pos, v) })
+}
+
+func (s *shardedStore) SelectRange(pos int, b Bounds) ([]TupleID, bool) {
+	return s.mergeProbe(func(sub Store) ([]TupleID, bool) { return sub.SelectRange(pos, b) })
+}
+
+// mergeProbe fans a probe out to every shard and merges the results in
+// ascending-ID order. indexed reflects the shards' shared index
+// configuration (CreateIndex fans out, so it is uniform).
+func (s *shardedStore) mergeProbe(probe func(Store) ([]TupleID, bool)) ([]TupleID, bool) {
+	var out []TupleID
+	indexed := true
+	for _, sub := range s.subs {
+		ids, ix := probe(sub)
+		out = append(out, ids...)
+		indexed = indexed && ix
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, indexed
+}
+
+func (s *shardedStore) CreateIndex(pos int) {
+	for _, sub := range s.subs {
+		sub.CreateIndex(pos)
+	}
+	if _, ok := s.distinct[pos]; !ok {
+		counts := make(map[value.V]int)
+		s.Scan(func(_ TupleID, t Tuple) bool {
+			if pos < len(t) {
+				counts[t[pos].Key()]++
+			}
+			return true
+		})
+		s.distinct[pos] = counts
+	}
+}
+
+func (s *shardedStore) HasIndex(pos int) bool { return s.subs[0].HasIndex(pos) }
+
+func (s *shardedStore) Clear() {
+	for _, sub := range s.subs {
+		sub.Clear()
+	}
+	s.byID = make(map[TupleID]uint8)
+	for pos := range s.distinct {
+		s.distinct[pos] = make(map[value.V]int)
+	}
+}
+
+// Stats aggregates across shards: cardinality is the sum, and each
+// index's distinct count is the exact number of distinct live keys
+// across all shards (tracked by refcount, not a per-shard sum — a value
+// split across shards is still one value). This aggregate view is what
+// the cost-based planner's estimates and drift invalidation consume.
+func (s *shardedStore) Stats() StoreStats {
+	st := StoreStats{Backend: s.kind, Tuples: len(s.byID), Shards: len(s.subs)}
+	base := s.subs[0].Stats()
+	for _, ix := range base.Indexes {
+		st.Indexes = append(st.Indexes, IndexStat{
+			Pos:      ix.Pos,
+			Distinct: len(s.distinct[ix.Pos]),
+		})
+	}
+	return st
+}
+
+// ShardStats snapshots each shard's own store shape — the per-shard
+// observability view (skew diagnosis) that must never feed the planner.
+func (s *shardedStore) ShardStats() []StoreStats {
+	out := make([]StoreStats, len(s.subs))
+	for i, sub := range s.subs {
+		out[i] = sub.Stats()
+		out[i].Shards = 1
+	}
+	return out
+}
+
+// Shards reports the relation's shard count (1 when unsharded).
+func (r *Relation) Shards() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if ss, ok := r.store.(*shardedStore); ok {
+		return len(ss.subs)
+	}
+	return 1
+}
+
+// ShardOf maps a tuple to the shard it is (or would be) stored on: the
+// hash of the first attribute modulo the shard count, 0 when unsharded.
+// The engine's delta splitter uses this to route batch entries to
+// per-shard sub-deltas that align exactly with the storage partitions.
+func (r *Relation) ShardOf(t Tuple) int {
+	return shardOfTuple(t, r.Shards())
+}
+
+// ShardStats snapshots per-shard storage statistics: one StoreStats per
+// shard for a sharded relation, a single-element slice otherwise. The
+// per-shard view serves observability (shard skew); planner inputs come
+// from the aggregate Stats.
+func (r *Relation) ShardStats() []StoreStats {
+	r.mu.RLock()
+	ss, ok := r.store.(*shardedStore)
+	var out []StoreStats
+	if ok {
+		out = ss.ShardStats()
+	} else {
+		out = []StoreStats{r.store.Stats()}
+	}
+	r.mu.RUnlock()
+	for i := range out {
+		for j := range out[i].Indexes {
+			if p := out[i].Indexes[j].Pos; p >= 0 && p < r.schema.Arity() {
+				out[i].Indexes[j].Attr = r.schema.Attrs()[p]
+			}
+		}
+	}
+	return out
+}

@@ -151,8 +151,13 @@ type IndexStat struct {
 type StoreStats struct {
 	// Backend is the storage kind serving the relation.
 	Backend StorageKind
-	// Tuples is the live cardinality.
+	// Tuples is the live cardinality. For a sharded relation this is
+	// the aggregate across every shard — the figure planner estimates
+	// and drift invalidation must consume.
 	Tuples int
+	// Shards is the shard count of a horizontally partitioned relation;
+	// zero means the store is a plain (unsharded) backend.
+	Shards int
 	// Indexes lists the secondary indexes in ascending position order.
 	Indexes []IndexStat
 }

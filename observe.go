@@ -107,8 +107,11 @@ type RelationStorage struct {
 	Name string
 	// Backend is the storage backend serving the relation.
 	Backend Storage
-	// Tuples is the live cardinality.
+	// Tuples is the live cardinality — for a sharded relation, the
+	// aggregate across every shard.
 	Tuples int
+	// Shards is the relation's shard count; zero means unsharded.
+	Shards int
 	// Indexes lists the secondary indexes in attribute-position order.
 	Indexes []IndexInfo
 }
@@ -193,6 +196,16 @@ type ServerStats struct {
 	ReadOnly     int64 // 1 after a WAL failure flipped the system read-only
 }
 
+// ShardStats counts parallel match-scheduler operations (the sharded
+// working-memory arc; see docs/SHARDING.md).
+type ShardStats struct {
+	Shards         int64 // configured shard space (high-water gauge)
+	Maintains      int64 // per-shard maintenance/detection tasks executed
+	Steals         int64 // tasks taken from another worker's queue
+	CrossShardTxns int64 // deltas whose tuples spanned more than one shard
+	Rebalances     int64 // oversized shard tasks split per class
+}
+
 // IntegrityStats counts audit, repair, and fault-containment
 // operations.
 type IntegrityStats struct {
@@ -233,6 +246,7 @@ type Snapshot struct {
 	Batch      BatchStats
 	Durability DurabilityStats
 	Server     ServerStats
+	Shard      ShardStats
 	Integrity  IntegrityStats
 	Counters   map[string]int64
 }
@@ -252,7 +266,7 @@ func (s *System) Metrics() Snapshot {
 			continue
 		}
 		st := rel.Stats()
-		rs := RelationStorage{Name: name, Backend: Storage(st.Backend), Tuples: st.Tuples}
+		rs := RelationStorage{Name: name, Backend: Storage(st.Backend), Tuples: st.Tuples, Shards: st.Shards}
 		for _, ix := range st.Indexes {
 			rs.Indexes = append(rs.Indexes, IndexInfo{Attr: ix.Attr, Pos: ix.Pos, Distinct: ix.Distinct})
 		}
@@ -336,6 +350,13 @@ func newSnapshot(m map[string]int64) Snapshot {
 			GroupWaiters: m["wal_group_waiters"],
 			ReadOnly:     m["read_only"],
 		},
+		Shard: ShardStats{
+			Shards:         m["shards"],
+			Maintains:      m["shard_maintains"],
+			Steals:         m["shard_steals"],
+			CrossShardTxns: m["cross_shard_txns"],
+			Rebalances:     m["shard_rebalance"],
+		},
 		Integrity: IntegrityStats{
 			AuditRuns:         m["audit_runs"],
 			AuditRulesChecked: m["audit_rules_checked"],
@@ -385,6 +406,9 @@ func (sn Snapshot) String() string {
 	}
 	for _, rs := range sn.Storage.Relations {
 		fmt.Fprintf(&b, "storage/%-16s backend=%s tuples=%d", rs.Name, rs.Backend, rs.Tuples)
+		if rs.Shards > 1 {
+			fmt.Fprintf(&b, " shards=%d", rs.Shards)
+		}
 		for _, ix := range rs.Indexes {
 			fmt.Fprintf(&b, " ix(%s)=%d", ix.Attr, ix.Distinct)
 		}
@@ -393,6 +417,10 @@ func (sn Snapshot) String() string {
 	if sv := sn.Server; sv.Admitted|sv.Rejected|sv.Drained|sv.GroupCommits|sv.GroupWaiters|sv.ReadOnly != 0 {
 		fmt.Fprintf(&b, "server admitted=%d rejected=%d drained=%d group_commits=%d group_waiters=%d read_only=%d\n",
 			sv.Admitted, sv.Rejected, sv.Drained, sv.GroupCommits, sv.GroupWaiters, sv.ReadOnly)
+	}
+	if sh := sn.Shard; sh.Shards|sh.Maintains|sh.Steals|sh.CrossShardTxns|sh.Rebalances != 0 {
+		fmt.Fprintf(&b, "shard shards=%d maintains=%d steals=%d cross_shard_txns=%d rebalances=%d\n",
+			sh.Shards, sh.Maintains, sh.Steals, sh.CrossShardTxns, sh.Rebalances)
 	}
 	return b.String()
 }
