@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-storage test-shards bench bench-storage bench-planner bench-shard check fmt fuzz-short trace-demo crash-demo audit-demo soak-demo
+.PHONY: build test test-storage test-shards bench bench-storage bench-planner bench-shard check fmt fuzz-short trace-demo crash-demo audit-demo soak-demo failover-demo
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,7 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeValue -fuzztime=$(FUZZTIME) ./internal/relation
 	$(GO) test -run=^$$ -fuzz=FuzzRestore -fuzztime=$(FUZZTIME) ./internal/relation
 	$(GO) test -run=^$$ -fuzz=FuzzScanLog -fuzztime=$(FUZZTIME) ./internal/wal
+	$(GO) test -run=^$$ -fuzz=FuzzReplicaFrame -fuzztime=$(FUZZTIME) ./internal/replica
 
 # trace-demo records a traced payroll run: the per-rule profile prints
 # to stdout and the event stream lands in trace.json in Chrome
@@ -103,6 +104,26 @@ soak-demo:
 	/tmp/psload -spawn -psserve /tmp/psserve -program testdata/server.ops \
 		-wal /tmp/soak-chaos.wal -addr 127.0.0.1:8373 -clients 8 \
 		-duration $(SOAK_DURATION) -chaos -label chaos-soak -out BENCH_8.json
+
+# failover-demo runs the replication drill (docs/REPLICATION.md): a
+# primary/replica pair under load, then repeated kill→promote→rejoin
+# cycles with role swaps. Each cycle verifies the acknowledgement
+# oracle on the promoted node, runs the audit promotion gate, fences
+# every stale-epoch append from the resurrected old primary, and
+# compares working memory and conflict sets byte-identical after
+# rejoin. Results land in BENCH_10.json; psload exits non-zero on any
+# lost acked commit, fence leak, or rejoin divergence.
+FAILOVER_DURATION ?= 10s
+FAILOVER_CYCLES ?= 5
+failover-demo:
+	$(GO) build -o /tmp/psserve ./cmd/psserve
+	$(GO) build -o /tmp/psload ./cmd/psload
+	rm -f /tmp/failover.wal.a /tmp/failover.wal.a.ckpt \
+		/tmp/failover.wal.b /tmp/failover.wal.b.ckpt BENCH_10.json
+	/tmp/psload -spawn -psserve /tmp/psserve -program testdata/server.ops \
+		-wal /tmp/failover.wal -addr 127.0.0.1:8372 -replica-addr 127.0.0.1:8373 \
+		-clients 8 -duration $(FAILOVER_DURATION) -chaos-failover \
+		-cycles $(FAILOVER_CYCLES) -label failover -out BENCH_10.json
 
 # crash-demo kills a WAL-attached run with SIGKILL mid-flight, then
 # reopens the log read-only to show recovery landing on the last

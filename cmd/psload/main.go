@@ -46,6 +46,9 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 32, "server max in-flight (with -spawn)")
 	maxQueue := flag.Int("max-queue", 128, "server max queue (with -spawn)")
 	chaos := flag.Bool("chaos", false, "SIGKILL the server mid-load, restart, verify recovery (needs -spawn and -wal)")
+	failover := flag.Bool("chaos-failover", false, "run the replication failover drill: kill the primary, promote the replica, fence and rejoin the old primary (needs -spawn and -wal)")
+	cycles := flag.Int("cycles", 5, "kill→promote→rejoin cycles (with -chaos-failover)")
+	replicaAddr := flag.String("replica-addr", "127.0.0.1:8373", "replica address (with -chaos-failover)")
 	shards := flag.Int("shards", 0, "forwarded to the spawned psserve as -shards (with -spawn)")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	label := flag.String("label", "mixed", "workload label recorded in the report")
@@ -54,6 +57,14 @@ func main() {
 
 	if *chaos && (!*spawn || *walPath == "") {
 		fmt.Fprintln(os.Stderr, "psload: -chaos requires -spawn and -wal")
+		os.Exit(2)
+	}
+	if *failover && (!*spawn || *walPath == "") {
+		fmt.Fprintln(os.Stderr, "psload: -chaos-failover requires -spawn and -wal")
+		os.Exit(2)
+	}
+	if *failover && *chaos {
+		fmt.Fprintln(os.Stderr, "psload: -chaos and -chaos-failover are mutually exclusive")
 		os.Exit(2)
 	}
 	ratios, err := parseMix(*mix)
@@ -70,10 +81,16 @@ func main() {
 		acked:   map[uint64]bool{},
 	}
 
-	var srv *serverProc
+	var srv, srvB *serverProc
 	if *spawn {
+		wal := *walPath
+		if *failover {
+			// Each node of the replicated pair keeps its own log for its
+			// whole lifetime, across role swaps.
+			wal = *walPath + ".a"
+		}
 		srv = &serverProc{
-			bin: *psserve, addr: *addr, program: *program, wal: *walPath,
+			bin: *psserve, addr: *addr, program: *program, wal: wal,
 			maxInFlight: *maxInFlight, maxQueue: *maxQueue, shards: *shards,
 		}
 		if err := srv.start(); err != nil {
@@ -85,13 +102,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "psload: server never became healthy: %v\n", err)
 			os.Exit(1)
 		}
+		if *failover {
+			srvB = &serverProc{
+				bin: *psserve, addr: *replicaAddr, program: *program, wal: *walPath + ".b",
+				maxInFlight: *maxInFlight, maxQueue: *maxQueue, shards: *shards,
+				replicaOf: "http://" + *addr,
+			}
+			if err := srvB.start(); err != nil {
+				fmt.Fprintf(os.Stderr, "psload: spawn replica: %v\n", err)
+				os.Exit(1)
+			}
+			defer srvB.kill()
+			if err := h.waitHealthyAt("http://"+*replicaAddr, 10*time.Second); err != nil {
+				fmt.Fprintf(os.Stderr, "psload: replica never became healthy: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	rep := report{
-		Workload: *label, Clients: *clients, Mix: *mix, Chaos: *chaos,
+		Workload: *label, Clients: *clients, Mix: *mix,
+		Chaos: *chaos || *failover, Failover: *failover,
 	}
 	start := time.Now()
-	if *chaos {
+	if *failover {
+		err = h.runFailover([2]*serverProc{srv, srvB}, *cycles, *duration, &rep)
+	} else if *chaos {
 		err = h.runChaos(srv, *duration, &rep)
 	} else {
 		// QUEL range declaration for the query mix (the chaos path
@@ -115,6 +151,9 @@ func main() {
 
 	if *spawn {
 		srv.terminate(15 * time.Second)
+		if srvB != nil {
+			srvB.terminate(15 * time.Second)
+		}
 	}
 
 	text, _ := json.MarshalIndent(&rep, "", "  ")
@@ -135,6 +174,10 @@ func main() {
 	}
 	if rep.OracleMissing > 0 || (rep.Chaos && !rep.AuditClean) {
 		fmt.Fprintln(os.Stderr, "psload: FAIL — durability oracle violated")
+		os.Exit(1)
+	}
+	if rep.FenceLeaks > 0 || rep.RejoinMismatch > 0 {
+		fmt.Fprintln(os.Stderr, "psload: FAIL — failover drill violated (fence leak or rejoin divergence)")
 		os.Exit(1)
 	}
 }
@@ -163,6 +206,17 @@ type report struct {
 	OracleAcked      int     `json:"oracle_acked,omitempty"` // live acked assertions checked
 	OracleMissing    int     `json:"oracle_missing"`         // acked but absent after recovery (must be 0)
 	AuditClean       bool    `json:"audit_clean"`
+
+	// Failover drill (-chaos-failover) results.
+	Failover       bool    `json:"failover,omitempty"`
+	Failovers      int     `json:"failovers,omitempty"`       // completed kill→promote→rejoin cycles
+	FailoverP50MS  float64 `json:"failover_p50_ms,omitempty"` // kill → promoted and writable
+	FailoverMaxMS  float64 `json:"failover_max_ms,omitempty"`
+	LagP50Bytes    int64   `json:"lag_p50_bytes"` // replica lag sampled under load
+	LagP99Bytes    int64   `json:"lag_p99_bytes"`
+	FencedAppends  int     `json:"fenced_appends,omitempty"` // stale-epoch appends rejected with 409
+	FenceLeaks     int     `json:"fence_leaks"`              // stale-epoch appends accepted (must be 0)
+	RejoinMismatch int     `json:"rejoin_mismatch"`          // WM/conflict divergences after rejoin (must be 0)
 }
 
 // harness drives the load and keeps the acknowledgement oracle.
@@ -191,10 +245,37 @@ func (h *harness) client() *http.Client {
 	return h.httpc
 }
 
+// retryDelay reads the server's backoff hint on a 429: the
+// millisecond-precision Retry-After-Ms header when present, the coarse
+// Retry-After (seconds) otherwise, a small default when neither is
+// there. A ±25% local jitter keeps clients that shared one hint from
+// re-synchronizing, and a cap keeps a bad hint from stalling the
+// harness.
+func retryDelay(resp *http.Response) time.Duration {
+	d := 5 * time.Millisecond
+	if ms := resp.Header.Get("Retry-After-Ms"); ms != "" {
+		if n, err := strconv.ParseInt(ms, 10, 64); err == nil && n > 0 {
+			d = time.Duration(n) * time.Millisecond
+		}
+	} else if sec := resp.Header.Get("Retry-After"); sec != "" {
+		if n, err := strconv.ParseInt(sec, 10, 64); err == nil && n > 0 {
+			d = time.Duration(n) * time.Second
+		}
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d*3/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
 func (h *harness) waitHealthy(d time.Duration) error {
+	return h.waitHealthyAt(h.base, d)
+}
+
+func (h *harness) waitHealthyAt(base string, d time.Duration) error {
 	deadline := time.Now().Add(d)
 	for {
-		resp, err := h.client().Get(h.base + "/healthz")
+		resp, err := h.client().Get(base + "/healthz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
@@ -243,9 +324,10 @@ func (h *harness) postIDs(path, body string) (bool, []uint64) {
 		return true, out.IDs
 	case http.StatusTooManyRequests:
 		h.rejected.Add(1)
-		// Shed: back off briefly and let the retry happen organically
-		// on the next loop iteration.
-		time.Sleep(5 * time.Millisecond)
+		// Shed: honor the server's Retry-After hint (with local jitter)
+		// and let the retry happen organically on the next loop
+		// iteration.
+		time.Sleep(retryDelay(resp))
 		return false, nil
 	default:
 		h.errors.Add(1)
@@ -254,7 +336,11 @@ func (h *harness) postIDs(path, body string) (bool, []uint64) {
 }
 
 func (h *harness) get(path string) (int, []byte) {
-	resp, err := h.client().Get(h.base + path)
+	return h.getAt(h.base, path)
+}
+
+func (h *harness) getAt(base, path string) (int, []byte) {
+	resp, err := h.client().Get(base + path)
 	if err != nil {
 		return 0, nil
 	}
@@ -375,6 +461,284 @@ func (h *harness) runChaos(srv *serverProc, d time.Duration, rep *report) error 
 	return nil
 }
 
+// runFailover is the log-shipping failover drill. Each cycle: load the
+// primary while sampling replica lag, quiesce, wait for verified
+// catch-up (the replica mirrors the primary's exact epoch and offset),
+// SIGKILL the primary, detect the death with consecutive failed health
+// probes, promote the replica, redirect clients, and check the
+// acknowledgement oracle and audit on the new primary. Then the old
+// primary is resurrected as a primary and every append tagged with the
+// promoted epoch must be fenced with 409; finally it rejoins as a
+// replica of the new primary and both nodes' working memories and
+// conflict sets must compare byte-identical. Roles swap and the next
+// cycle runs the other way.
+func (h *harness) runFailover(procs [2]*serverProc, cycles int, d time.Duration, rep *report) error {
+	per := d / time.Duration(cycles)
+	if per <= 0 {
+		per = time.Second
+	}
+	base := func(p *serverProc) string { return "http://" + p.addr }
+	var lagSamples []int64
+	var failovers []float64
+	clean := true
+	pi := 0
+	for cycle := 0; cycle < cycles; cycle++ {
+		pri, sec := procs[pi], procs[1-pi]
+		h.base = base(pri)
+		h.post("/v1/quel", `{"stmt":"range of i is Item"}`)
+
+		// Load the primary while a sampler polls the replica's lag.
+		stopSample := make(chan struct{})
+		var sampleWG sync.WaitGroup
+		sampleWG.Add(1)
+		go func() {
+			defer sampleWG.Done()
+			tick := time.NewTicker(20 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSample:
+					return
+				case <-tick.C:
+					if st, err := h.replicationOf(base(sec)); err == nil && st.Role == "replica" {
+						lagSamples = append(lagSamples, st.LagBytes)
+					}
+				}
+			}
+		}()
+		h.runLoad(per)
+		close(stopSample)
+		sampleWG.Wait()
+
+		// Verified catch-up before the kill: with asynchronous shipping,
+		// an acked commit that never reached the replica would be
+		// legitimately lost — the drill's zero-loss oracle is only
+		// meaningful once the mirror is exact.
+		if err := h.waitCatchup(base(pri), base(sec), 30*time.Second); err != nil {
+			return fmt.Errorf("cycle %d catch-up: %w", cycle, err)
+		}
+
+		t0 := time.Now()
+		if err := pri.kill(); err != nil {
+			return fmt.Errorf("cycle %d kill: %w", cycle, err)
+		}
+		// Automatic failover: promote only after consecutive failed
+		// health probes, the drill's stand-in for a failure detector.
+		if err := h.waitDead(base(pri), 3, 10*time.Second); err != nil {
+			return fmt.Errorf("cycle %d: killed primary kept answering probes: %w", cycle, err)
+		}
+		newEpoch, err := h.promote(base(sec))
+		if err != nil {
+			return fmt.Errorf("cycle %d promote: %w", cycle, err)
+		}
+		failovers = append(failovers, float64(time.Since(t0).Nanoseconds())/1e6)
+
+		// Redirect clients to the new primary and run the oracle there.
+		h.base = base(sec)
+		missing, checked, err := h.checkOracle()
+		if err != nil {
+			return fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		rep.OracleAcked = checked
+		rep.OracleMissing += missing
+		clean = clean && h.auditClean()
+
+		// Resurrect the old primary as a primary — the split-brain
+		// scenario. Its log is stuck at the retired epoch, so every
+		// append tagged with the promoted epoch must be fenced.
+		pri.replicaOf = ""
+		if err := pri.start(); err != nil {
+			return fmt.Errorf("cycle %d resurrect: %w", cycle, err)
+		}
+		if err := h.waitHealthyAt(base(pri), 30*time.Second); err != nil {
+			return fmt.Errorf("cycle %d resurrect: %w", cycle, err)
+		}
+		for i := 0; i < 5; i++ {
+			code, stale := h.fencedAppend(base(pri), newEpoch)
+			if code == http.StatusConflict && stale {
+				rep.FencedAppends++
+			} else {
+				rep.FenceLeaks++
+			}
+		}
+
+		// Demote: restart the old primary as a replica of the new one
+		// and wait until it has verifiably caught up.
+		if err := pri.kill(); err != nil {
+			return fmt.Errorf("cycle %d demote: %w", cycle, err)
+		}
+		pri.replicaOf = base(sec)
+		if err := pri.start(); err != nil {
+			return fmt.Errorf("cycle %d rejoin: %w", cycle, err)
+		}
+		if err := h.waitHealthyAt(base(pri), 30*time.Second); err != nil {
+			return fmt.Errorf("cycle %d rejoin: %w", cycle, err)
+		}
+		if err := h.waitCatchup(base(sec), base(pri), 30*time.Second); err != nil {
+			return fmt.Errorf("cycle %d rejoin catch-up: %w", cycle, err)
+		}
+		rep.RejoinMismatch += h.compareNodes(base(sec), base(pri))
+		pi = 1 - pi
+	}
+
+	rep.Failovers = cycles
+	rep.AuditClean = clean
+	sort.Float64s(failovers)
+	if len(failovers) > 0 {
+		rep.FailoverP50MS = failovers[len(failovers)/2]
+		rep.FailoverMaxMS = failovers[len(failovers)-1]
+	}
+	if len(lagSamples) > 0 {
+		sort.Slice(lagSamples, func(i, j int) bool { return lagSamples[i] < lagSamples[j] })
+		rep.LagP50Bytes = lagSamples[len(lagSamples)/2]
+		rep.LagP99Bytes = lagSamples[len(lagSamples)*99/100]
+	}
+	return nil
+}
+
+// replState is the /v1/replication response slice the drill reads.
+type replState struct {
+	Role     string `json:"role"`
+	Epoch    uint64 `json:"epoch"`
+	Offset   int64  `json:"offset"`
+	LagBytes int64  `json:"lag_bytes"`
+}
+
+func (h *harness) replicationOf(base string) (replState, error) {
+	code, body := h.getAt(base, "/v1/replication")
+	if code != http.StatusOK {
+		return replState{}, fmt.Errorf("replication: status %d", code)
+	}
+	var st replState
+	if err := json.Unmarshal(body, &st); err != nil {
+		return replState{}, err
+	}
+	return st, nil
+}
+
+// waitCatchup blocks until the replica's applied position equals the
+// primary's live position — verified catch-up, not a lag heuristic.
+func (h *harness) waitCatchup(primary, replica string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		ps, perr := h.replicationOf(primary)
+		rs, rerr := h.replicationOf(replica)
+		if perr == nil && rerr == nil && rs.Role == "replica" &&
+			rs.Epoch == ps.Epoch && rs.Offset == ps.Offset {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica at %d:%d, primary at %d:%d (perr=%v rerr=%v)",
+				rs.Epoch, rs.Offset, ps.Epoch, ps.Offset, perr, rerr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitDead probes /healthz until `consecutive` probes in a row fail —
+// the drill's failure detector.
+func (h *harness) waitDead(base string, consecutive int, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	fails := 0
+	for {
+		resp, err := h.client().Get(base + "/healthz")
+		if err != nil {
+			fails++
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				fails = 0
+			} else {
+				fails++
+			}
+		}
+		if fails >= consecutive {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("probes kept succeeding")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (h *harness) promote(base string) (uint64, error) {
+	resp, err := h.client().Post(base+"/v1/promote", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Promoted bool   `json:"promoted"`
+		Epoch    uint64 `json:"epoch"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK || !out.Promoted {
+		return 0, fmt.Errorf("promote: status %d: %s", resp.StatusCode, out.Error)
+	}
+	return out.Epoch, nil
+}
+
+// fencedAppend sends an assert tagged with the promoted epoch to the
+// resurrected old primary. A correct node rejects it 409 stale_epoch.
+func (h *harness) fencedAppend(base string, epoch uint64) (code int, stale bool) {
+	req, err := http.NewRequest("POST", base+"/v1/batch",
+		strings.NewReader(`{"ops":[{"op":"assert","class":"Item","values":[0,0]}]}`))
+	if err != nil {
+		return 0, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Prodsys-Epoch", strconv.FormatUint(epoch, 10))
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	var body struct {
+		StaleEpoch bool `json:"stale_epoch"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body.StaleEpoch
+}
+
+// compareNodes counts divergences between two nodes' working memories
+// and conflict sets; a caught-up replica must mirror its primary
+// exactly.
+func (h *harness) compareNodes(a, b string) int {
+	mismatch := 0
+	wa, oka := h.wmFingerprint(a)
+	wb, okb := h.wmFingerprint(b)
+	if !oka || !okb || wa != wb {
+		mismatch++
+	}
+	ca, sa := h.getAt(a, "/v1/conflicts")
+	cb, sb := h.getAt(b, "/v1/conflicts")
+	if ca != http.StatusOK || cb != http.StatusOK || string(sa) != string(sb) {
+		mismatch++
+	}
+	return mismatch
+}
+
+// wmFingerprint renders a node's Item working memory as a sorted,
+// order-independent string.
+func (h *harness) wmFingerprint(base string) (string, bool) {
+	code, body := h.getAt(base, "/v1/wm?class=Item")
+	if code != http.StatusOK {
+		return "", false
+	}
+	var wm struct {
+		Tuples []string `json:"tuples"`
+	}
+	if err := json.Unmarshal(body, &wm); err != nil {
+		return "", false
+	}
+	sort.Strings(wm.Tuples)
+	return strings.Join(wm.Tuples, "\n"), true
+}
+
 // checkOracle fetches the recovered WM and verifies every acked-live
 // assertion survived. Extra tuples are legal (committed but unacked at
 // the kill); missing acked tuples are a durability violation.
@@ -468,22 +832,29 @@ func (h *harness) fill(rep *report) {
 	}
 }
 
-// serverProc manages a spawned psserve process.
+// serverProc manages a spawned psserve process. replicaOf, when set,
+// starts the node as a warm replica of that primary; the field is
+// mutated between restarts as the failover drill swaps roles.
 type serverProc struct {
 	bin, addr, program, wal string
 	maxInFlight, maxQueue   int
 	shards                  int
+	replicaOf               string
 	cmd                     *exec.Cmd
 }
 
 func (p *serverProc) start() error {
-	cmd := exec.Command(p.bin,
+	args := []string{
 		"-addr", p.addr, "-program", p.program, "-wal", p.wal,
 		"-wal-sync", "group",
 		"-max-inflight", strconv.Itoa(p.maxInFlight),
 		"-max-queue", strconv.Itoa(p.maxQueue),
 		"-shards", strconv.Itoa(p.shards),
-	)
+	}
+	if p.replicaOf != "" {
+		args = append(args, "-replica-of", p.replicaOf)
+	}
+	cmd := exec.Command(p.bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"prodsys"
+	"prodsys/internal/replica"
 	"prodsys/internal/server"
 )
 
@@ -51,6 +52,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", 128, "max requests waiting for a slot before shedding 429")
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline propagated into the engine")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests")
+	replicaOf := flag.String("replica-of", "", "start as a warm replica of the primary at this base URL (requires -wal)")
 	flag.Parse()
 
 	if *program == "" {
@@ -67,6 +69,7 @@ func main() {
 		WALPath:            *walPath,
 		WALSync:            prodsys.WALSyncMode(*walSync),
 		WALCheckpointEvery: *checkpointEvery,
+		ReplicaOf:          *replicaOf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psserve: %v\n", err)
@@ -77,12 +80,27 @@ func main() {
 			rec.Checkpoint, rec.Tuples, rec.Txns, rec.Ops, rec.TornTail, rec.Elapsed)
 	}
 
-	srv := server.New(sys, server.Config{
+	cfg := server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *requestTimeout,
 		DrainTimeout:   *drainTimeout,
-	})
+	}
+	var feed *replica.Client
+	if *replicaOf != "" {
+		if *walPath == "" {
+			fmt.Fprintln(os.Stderr, "psserve: -replica-of requires -wal (the feed mirrors into the local log)")
+			os.Exit(2)
+		}
+		feed = replica.NewClient(sys, *replicaOf)
+		feed.Logf = func(format string, args ...any) { fmt.Printf("psserve: "+format+"\n", args...) }
+		feed.Start()
+		// /v1/promote stops the feed client (no apply in flight) before
+		// the promotion sequence runs.
+		cfg.StopReplication = feed.Stop
+		fmt.Printf("psserve: replica of %s\n", *replicaOf)
+	}
+	srv := server.New(sys, cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -104,6 +122,9 @@ func main() {
 		fmt.Printf("psserve: %s — draining (deadline %s)\n", s, *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
 		defer cancel()
+		if feed != nil {
+			feed.Stop()
+		}
 		if err := srv.Drain(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "psserve: drain: %v\n", err)
 		}

@@ -85,6 +85,15 @@ func (s *System) Audit(opts AuditOptions) (*AuditReport, error) {
 	s.eng.WithMaintenanceLock(func() {
 		rep, err = s.aud.Run(audit.Options{MaxRules: opts.MaxRules, Repair: opts.Repair})
 	})
+	return convertAuditReport(rep), err
+}
+
+// convertAuditReport maps the internal audit report onto the public
+// type; nil in, nil out.
+func convertAuditReport(rep *audit.Report) *AuditReport {
+	if rep == nil {
+		return nil
+	}
 	out := &AuditReport{
 		Matcher:      rep.Matcher,
 		RulesChecked: rep.RulesChecked,
@@ -95,7 +104,7 @@ func (s *System) Audit(opts AuditOptions) (*AuditReport, error) {
 	for _, d := range rep.Divergences {
 		out.Divergences = append(out.Divergences, AuditDivergence(d))
 	}
-	return out, err
+	return out
 }
 
 // InjectCorruption deliberately corrupts the active matcher's derived

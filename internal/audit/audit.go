@@ -174,6 +174,23 @@ func New(set *rules.Set, db *relation.DB, m match.Matcher, stats *metrics.Set) *
 // repairs are emitted as events. A nil tracer disables emission.
 func (a *Auditor) SetTracer(tr *trace.Tracer) { a.tr = tr }
 
+// Gate runs a full, repair-free audit as a go/no-go check — the
+// promotion gate of WAL log-shipping failover: a replica may only turn
+// primary if its derived state matches ground truth exactly. The
+// report is returned either way; the error is non-nil when the gate
+// fails, naming the divergence count and the first instance.
+func (a *Auditor) Gate() (*Report, error) {
+	rep, err := a.Run(Options{})
+	if err != nil {
+		return rep, fmt.Errorf("audit gate: %w", err)
+	}
+	if !rep.Clean() {
+		return rep, fmt.Errorf("audit gate: %d divergences, first: %s",
+			len(rep.Divergences), rep.Divergences[0].String())
+	}
+	return rep, nil
+}
+
 // Run performs one audit: conflict-set ground truth for the selected
 // rules, then the matcher's own derived state via DerivedAuditor. With
 // opts.Repair, divergent rules' derived state is rebuilt from WM and

@@ -319,3 +319,71 @@ func TestCheckpointCompactionEquivalence(t *testing.T) {
 
 // cleanImage snapshots a healthy filesystem for reboot.
 func cleanImage(fs *faultfs.FS) map[string][]byte { return fs.Snapshot() }
+
+// TestTruncationAtGroupCommitBoundaries cuts the log of a group-commit
+// run at exactly every committed-unit boundary — the cut a replica
+// promotion makes with TruncateTail — and asserts the reboot is
+// perfectly clean: no torn tail reported, exactly the prefix's units
+// replayed, state equal to the live oracle. One byte past the same
+// boundary must instead report a torn tail yet recover to the very
+// same state: the partial record carries no committed unit.
+func TestTruncationAtGroupCommitBoundaries(t *testing.T) {
+	fs := faultfs.New()
+	sys, err := prodsys.Load(crashSrc, prodsys.Options{
+		Matcher:    prodsys.MatcherRete,
+		MaxFirings: 1,
+		Out:        io.Discard,
+		WALPath:    walPath,
+		WALFS:      fs,
+		WALSync:    prodsys.WALSyncGroup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[int]snap{}
+	drive(t, sys, 30, states)
+	sys.Close()
+
+	data := fs.Snapshot()[walPath]
+	_, _, bounds, torn := wal.ScanLog(data)
+	if torn {
+		t.Fatal("clean shutdown left a torn log")
+	}
+	unitCuts := 0
+	for _, b := range bounds {
+		if wal.LastUnitBoundary(data[:b]) != b {
+			continue // record boundary mid-unit, not a commit boundary
+		}
+		unitCuts++
+		prefix := data[:b]
+		_, u, _, _ := wal.ScanLog(prefix)
+		want, ok := states[len(u)]
+		if !ok {
+			t.Fatalf("no oracle state for %d units", len(u))
+		}
+
+		rec := reboot(t, prodsys.MatcherRete, map[string][]byte{walPath: prefix})
+		if info := rec.Recovery(); info.TornTail || info.Txns != len(u) {
+			t.Fatalf("cut at unit boundary %d: recovery %+v, want %d clean txns", b, info, len(u))
+		}
+		if got := capture(rec); got != want {
+			t.Fatalf("cut at unit boundary %d: state diverges from live run", b)
+		}
+		rec.Close()
+
+		if b < int64(len(data)) {
+			past := data[:b+1]
+			recTorn := reboot(t, prodsys.MatcherRete, map[string][]byte{walPath: past})
+			if info := recTorn.Recovery(); !info.TornTail {
+				t.Fatalf("cut one byte past boundary %d: torn tail not reported: %+v", b, info)
+			}
+			if got := capture(recTorn); got != want {
+				t.Fatalf("cut one byte past boundary %d: state diverges", b)
+			}
+			recTorn.Close()
+		}
+	}
+	if unitCuts < 30 {
+		t.Fatalf("exercised only %d unit boundaries", unitCuts)
+	}
+}

@@ -144,6 +144,12 @@ type Engine struct {
 	roCause  atomic.Value // error: the failure that flipped readOnly
 	closed   atomic.Bool
 
+	// replica gates writes while the engine follows a primary's WAL
+	// feed: local mutation comes only through the replication apply
+	// path, never the public write entry points. Unlike readOnly it is
+	// reversible — promotion flips it off.
+	replica atomic.Bool
+
 	// rng drives the deadlock-victim retry jitter, seeded from
 	// Config.Seed so retry schedules are reproducible per engine.
 	rngMu sync.Mutex
@@ -390,6 +396,9 @@ func (e *Engine) checkWritable() error {
 			return fmt.Errorf("%w: %w", ErrReadOnly, cause)
 		}
 		return ErrReadOnly
+	}
+	if e.replica.Load() {
+		return ErrReplica
 	}
 	return nil
 }

@@ -86,12 +86,26 @@ const (
 	RecoveryNanos  Counter = "recovery_ns"     // wall time spent in recovery replay
 
 	// Server level (internal/server front end + WAL group commit).
-	ServerAdmitted  Counter = "server_admitted"   // requests admitted past admission control
-	ServerRejected  Counter = "server_rejected"   // requests shed with 429 (queue full)
-	ServerDrained   Counter = "server_drained"    // in-flight requests finished during drain
-	WALGroupCommits Counter = "wal_group_commits" // group fsyncs, each covering ≥1 waiting commit
-	WALGroupWaiters Counter = "wal_group_waiters" // commits whose durability rode a group fsync
-	ReadOnlyMode    Counter = "read_only"         // 1 after a WAL failure flipped the system read-only
+	ServerAdmitted     Counter = "server_admitted"      // requests admitted past admission control
+	ServerRejected     Counter = "server_rejected"      // requests shed with 429 (queue full)
+	ServerDrained      Counter = "server_drained"       // in-flight requests finished during drain
+	ServerQueueClients Counter = "server_queue_clients" // high-water distinct clients waiting in the fair queue
+	WALGroupCommits    Counter = "wal_group_commits"    // group fsyncs, each covering ≥1 waiting commit
+	WALGroupWaiters    Counter = "wal_group_waiters"    // commits whose durability rode a group fsync
+	ReadOnlyMode       Counter = "read_only"            // 1 after a WAL failure flipped the system read-only
+
+	// Replication level (internal/replica log shipping + failover).
+	ReplicaTxns       Counter = "replica_txns_applied"  // committed units applied from the feed
+	ReplicaOps        Counter = "replica_ops_applied"   // WM operations those units carried
+	ReplicaBytes      Counter = "replica_bytes"         // raw WAL bytes mirrored into the local log
+	ReplicaSnapshots  Counter = "replica_snapshots"     // bootstrap snapshots restored
+	ReplicaEpochs     Counter = "replica_epoch_follows" // primary checkpoints mirrored locally
+	ReplicaReconnects Counter = "replica_reconnects"    // feed connections (re)established
+	ReplicaLagBytes   Counter = "replica_lag_bytes"     // gauge: bytes behind the primary at last heartbeat
+	FeedsServed       Counter = "feeds_served"          // replication feed connections served (primary side)
+	FeedFrames        Counter = "feed_frames"           // frames shipped to replicas (primary side)
+	Promotions        Counter = "promotions"            // replica→primary promotions completed
+	FencedWrites      Counter = "fenced_writes"         // writes rejected by stale-epoch fencing
 
 	// Integrity level (internal/audit + executor fault containment).
 	AuditRuns         Counter = "audit_runs"          // audit passes (full or sampled)
@@ -152,6 +166,15 @@ func (s *Set) Get(c Counter) int64 {
 		return 0
 	}
 	return cell.Load()
+}
+
+// Store sets counter c to exactly n — gauge semantics for quantities
+// that move both ways (replication lag, queue depths).
+func (s *Set) Store(c Counter, n int64) {
+	if s == nil {
+		return
+	}
+	s.counter(c).Store(n)
 }
 
 // Max raises counter c to at least n.

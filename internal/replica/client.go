@@ -1,0 +1,182 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"prodsys"
+	"prodsys/internal/metrics"
+	"prodsys/internal/trace"
+	"prodsys/internal/wal"
+)
+
+// Client tails a primary's feed and applies it to a replica System:
+// snapshots bootstrap, record runs are mirrored into the local log and
+// their committed units applied, resets mirror primary checkpoints,
+// heartbeats update the lag gauge. Reconnects with jittered backoff;
+// any stream inconsistency is handled by dropping the connection — the
+// resumed cursor (the local log position) makes the feed re-bootstrap
+// when needed.
+type Client struct {
+	Sys     *prodsys.System
+	Primary string // primary base URL, e.g. "http://host:7480"
+	// HTTP overrides the transport; nil means a default client with no
+	// overall timeout (the feed is a long-lived stream).
+	HTTP *http.Client
+	// Logf receives connection-lifecycle messages. May be nil.
+	Logf func(format string, args ...any)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewClient builds a feed client for sys against the primary base URL.
+func NewClient(sys *prodsys.System, primary string) *Client {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Client{Sys: sys, Primary: primary, ctx: ctx, cancel: cancel, done: make(chan struct{})}
+}
+
+// Start runs the tail loop in a goroutine; Stop ends it.
+func (c *Client) Start() {
+	go c.run()
+}
+
+// Stop ends the tail loop and waits for it to exit — after Stop
+// returns, no apply is in flight and promotion is safe. Idempotent.
+func (c *Client) Stop() {
+	c.once.Do(c.cancel)
+	<-c.done
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Client) run() {
+	defer close(c.done)
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+	stats := c.Sys.CounterSet()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := 100 * time.Millisecond
+	for c.ctx.Err() == nil {
+		err := c.tailOnce(httpc, stats)
+		if c.ctx.Err() != nil {
+			return
+		}
+		if err != nil && !errors.Is(err, io.EOF) {
+			c.logf("replica: feed from %s: %v", c.Primary, err)
+		}
+		// Jittered backoff before reconnecting; reset to the floor after
+		// a connection that made progress is handled in tailOnce.
+		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-time.After(sleep):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// tailOnce runs one feed connection until it breaks.
+func (c *Client) tailOnce(httpc *http.Client, stats *metrics.Set) error {
+	epoch, off, ok := c.Sys.WALPosition()
+	if !ok {
+		return errors.New("replica: no local WAL to mirror into")
+	}
+	url := c.Primary + "/v1/wal?from=" + FormatFrom(epoch, off)
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("replica: feed status %s", resp.Status)
+	}
+	stats.Inc(metrics.ReplicaReconnects)
+	var sc wal.StreamScanner
+	fr := &frameReader{r: resp.Body}
+	for {
+		f, err := fr.next()
+		if err != nil {
+			return err
+		}
+		if err := c.dispatch(f, &sc, stats); err != nil {
+			return err
+		}
+	}
+}
+
+// dispatch applies one frame. Any error tears the connection down; the
+// next connection's cursor comes from the local log, so a desync
+// resolves into a snapshot bootstrap.
+func (c *Client) dispatch(f Frame, sc *wal.StreamScanner, stats *metrics.Set) error {
+	switch f.Kind {
+	case FrameSnapshot:
+		sc.Reset()
+		n, err := c.Sys.ReplicaBootstrap(f.Epoch, f.Data)
+		if err != nil {
+			return fmt.Errorf("replica: bootstrap: %w", err)
+		}
+		c.logf("replica: bootstrapped %d tuples at epoch %d from %s", n, f.Epoch, c.Primary)
+	case FrameReset:
+		if sc.Pending() {
+			return errors.New("replica: epoch reset with a unit in flight")
+		}
+		if err := c.Sys.ReplicaAdvanceEpoch(f.Epoch); err != nil {
+			return fmt.Errorf("replica: epoch follow: %w", err)
+		}
+	case FrameRecords:
+		if lEpoch, _, _ := c.Sys.WALPosition(); lEpoch != f.Epoch {
+			return fmt.Errorf("replica: records for epoch %d at local epoch %d", f.Epoch, lEpoch)
+		}
+		txns, err := sc.Feed(f.Data)
+		if err != nil {
+			return err
+		}
+		if err := c.Sys.ReplicaApply(f.Epoch, f.Data, txns); err != nil {
+			return fmt.Errorf("replica: apply: %w", err)
+		}
+		c.updateLag(f, stats)
+	case FrameHeartbeat:
+		c.updateLag(f, stats)
+	}
+	return nil
+}
+
+// updateLag stores the lag gauge from a frame's primary position and
+// emits the replica_lag trace point.
+func (c *Client) updateLag(f Frame, stats *metrics.Set) {
+	lEpoch, lSize, ok := c.Sys.WALPosition()
+	if !ok || lEpoch != f.Epoch {
+		return
+	}
+	lag := f.End - lSize
+	if lag < 0 {
+		lag = 0
+	}
+	stats.Store(metrics.ReplicaLagBytes, lag)
+	if tr := c.Sys.Tracer(); tr.Enabled() {
+		tr.Emit(trace.Event{Kind: trace.KindReplicaLag, At: tr.Now(), CE: -1, ID: f.Epoch, Count: lag})
+	}
+}

@@ -1,0 +1,170 @@
+package replica
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"prodsys/internal/metrics"
+	"prodsys/internal/wal"
+)
+
+// FeedConfig wires a primary's feed handler.
+type FeedConfig struct {
+	// Log is the primary's live write-ahead log. The feed reads the log
+	// and checkpoint files through the log's filesystem — never its
+	// handles — so shipping needs no append-path locks.
+	Log *wal.Log
+	// Stats lands feeds_served / feed_frames. May be nil.
+	Stats *metrics.Set
+	// Poll is how often the feed re-reads the log while idle; default
+	// 50ms.
+	Poll time.Duration
+	// Heartbeat is how often an idle feed ships its position so the
+	// replica can measure lag; default 500ms.
+	Heartbeat time.Duration
+	// Done, when closed, ends every feed (server drain). May be nil.
+	Done <-chan struct{}
+}
+
+// ParseFrom parses a feed cursor "epoch,offset" (the from query
+// parameter). An empty value is the zero cursor, which never matches a
+// live log and so forces a bootstrap.
+func ParseFrom(s string) (epoch uint64, offset int64, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	e, o, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("replica: bad from cursor %q", s)
+	}
+	epoch, err = strconv.ParseUint(e, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("replica: bad from epoch %q", s)
+	}
+	offset, err = strconv.ParseInt(o, 10, 64)
+	if err != nil || offset < 0 {
+		return 0, 0, fmt.Errorf("replica: bad from offset %q", s)
+	}
+	return epoch, offset, nil
+}
+
+// FormatFrom renders a feed cursor for the from query parameter.
+func FormatFrom(epoch uint64, offset int64) string {
+	return fmt.Sprintf("%d,%d", epoch, offset)
+}
+
+// ServeFeed streams the log to one replica until the client goes away,
+// the server drains, or the log file turns unreadable. The protocol
+// per iteration, against a fresh read of the log file (atomic-rename
+// file swaps make each read self-consistent):
+//
+//   - Cursor inside the live epoch: ship the records between the
+//     cursor and the valid prefix (torn tails excluded), or a
+//     heartbeat when idle.
+//   - Cursor exactly at the final position of the epoch the last
+//     checkpoint retired: the replica is identical to the checkpoint —
+//     ship a reset announcing the new epoch, no snapshot needed.
+//   - Anything else: ship the checkpoint snapshot, retrying while the
+//     checkpoint and log disagree mid-swap.
+func ServeFeed(w http.ResponseWriter, r *http.Request, cfg FeedConfig) {
+	if cfg.Log == nil {
+		http.Error(w, "no WAL attached", http.StatusServiceUnavailable)
+		return
+	}
+	cEpoch, cOff, err := ParseFrom(r.URL.Query().Get("from"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	heartbeat := cfg.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = 500 * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	cfg.Stats.Inc(metrics.FeedsServed)
+
+	fs := cfg.Log.FileSystem()
+	path := cfg.Log.Path()
+	send := func(f Frame) bool {
+		if _, err := w.Write(EncodeFrame(f)); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		cfg.Stats.Inc(metrics.FeedFrames)
+		return true
+	}
+	lastBeat := time.Now()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-cfg.Done:
+			return
+		default:
+		}
+		progressed := false
+		data, rerr := fs.ReadFile(path)
+		if rerr == nil {
+			if lEpoch, ok := wal.LogEpoch(data); ok {
+				valid := wal.ValidPrefix(data)
+				switch {
+				case cEpoch == lEpoch && cOff >= wal.HeaderLen && cOff <= valid:
+					if cOff < valid {
+						if !send(Frame{Kind: FrameRecords, Epoch: lEpoch, End: valid, Data: data[cOff:valid]}) {
+							return
+						}
+						cOff = valid
+						progressed = true
+					} else if time.Since(lastBeat) >= heartbeat {
+						if !send(Frame{Kind: FrameHeartbeat, Epoch: lEpoch, End: valid}) {
+							return
+						}
+						lastBeat = time.Now()
+					}
+				default:
+					if pe, ps := cfg.Log.PrevBoundary(); cEpoch == pe && cOff == ps && lEpoch != cEpoch {
+						if !send(Frame{Kind: FrameReset, Epoch: lEpoch, End: wal.HeaderLen}) {
+							return
+						}
+						cEpoch, cOff = lEpoch, wal.HeaderLen
+						progressed = true
+						break
+					}
+					ce, dump, exists, cerr := wal.ReadCheckpoint(fs, wal.CheckpointPath(path))
+					// A missing or epoch-mismatched checkpoint means the
+					// log is mid-swap (or the cursor is garbage against a
+					// genesis log); wait for a consistent pair.
+					if cerr == nil && exists && ce == lEpoch {
+						if !send(Frame{Kind: FrameSnapshot, Epoch: ce, End: wal.HeaderLen, Data: dump}) {
+							return
+						}
+						cEpoch, cOff = ce, wal.HeaderLen
+						progressed = true
+					}
+				}
+			}
+		}
+		if progressed {
+			continue
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-cfg.Done:
+			return
+		case <-time.After(poll):
+		}
+	}
+}

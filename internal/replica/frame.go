@@ -1,0 +1,145 @@
+// Package replica implements primary→replica WAL log shipping over the
+// HTTP front end: the primary's Feed streams its log as framed chunks
+// (snapshot bootstrap, raw record runs, epoch resets, heartbeats); a
+// replica's Client tails the feed, mirrors the record bytes into its
+// own log byte-for-byte, and applies committed units through matcher
+// maintenance exactly like recovery replay. See docs/REPLICATION.md.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// FrameKind identifies the type of a feed frame.
+type FrameKind byte
+
+// The frame kinds of the feed protocol.
+const (
+	// FrameSnapshot carries a checkpoint dump: the replica replaces its
+	// whole working memory and adopts Epoch. Data is the dump.
+	FrameSnapshot FrameKind = 1
+	// FrameReset announces a primary checkpoint to a fully caught-up
+	// replica: state is already identical, so the replica checkpoints
+	// its own WM under Epoch and the stream restarts at the new log's
+	// origin. No data.
+	FrameReset FrameKind = 2
+	// FrameRecords carries a run of raw, checksummed WAL record bytes
+	// from the Epoch log; End is the primary log offset just past them.
+	FrameRecords FrameKind = 3
+	// FrameHeartbeat carries the primary's live position (Epoch, End)
+	// with no records — the replica's lag measure. No data.
+	FrameHeartbeat FrameKind = 4
+)
+
+// Frame is one feed protocol unit.
+type Frame struct {
+	Kind  FrameKind
+	Epoch uint64 // primary log epoch the frame speaks for
+	End   int64  // primary log offset: past Data for records, live size for heartbeats
+	Data  []byte // dump bytes (snapshot) or raw record bytes (records)
+}
+
+// maxFrame bounds a decoded frame's payload; snapshots carry a whole
+// working-memory dump, so the bound is generous.
+const maxFrame = 1 << 28
+
+// ErrFrame marks a corrupt or malformed feed frame; the client drops
+// the connection and re-syncs.
+var ErrFrame = errors.New("replica: bad feed frame")
+
+// EncodeFrame renders f with the same outer framing as WAL records —
+// [4-byte length][4-byte CRC32-IEEE][payload] — so one checksum scheme
+// covers the log and the wire.
+func EncodeFrame(f Frame) []byte {
+	payload := make([]byte, 1, 1+2*binary.MaxVarintLen64+len(f.Data))
+	payload[0] = byte(f.Kind)
+	var tmp [binary.MaxVarintLen64]byte
+	payload = append(payload, tmp[:binary.PutUvarint(tmp[:], f.Epoch)]...)
+	payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(f.End))]...)
+	payload = append(payload, f.Data...)
+	out := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:], crc32.ChecksumIEEE(payload))
+	copy(out[8:], payload)
+	return out
+}
+
+// DecodeFrame decodes the first frame in buf. n is the bytes consumed;
+// n == 0 with a nil error means buf holds no complete frame yet (read
+// more). A malformed or checksum-failing frame returns ErrFrame.
+func DecodeFrame(buf []byte) (f Frame, n int, err error) {
+	if len(buf) < 8 {
+		return Frame{}, 0, nil
+	}
+	ln := binary.BigEndian.Uint32(buf)
+	if ln < 1 || ln > maxFrame {
+		return Frame{}, 0, fmt.Errorf("%w: length %d", ErrFrame, ln)
+	}
+	if len(buf)-8 < int(ln) {
+		return Frame{}, 0, nil
+	}
+	payload := buf[8 : 8+int(ln)]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(buf[4:]) {
+		return Frame{}, 0, fmt.Errorf("%w: checksum", ErrFrame)
+	}
+	f.Kind = FrameKind(payload[0])
+	switch f.Kind {
+	case FrameSnapshot, FrameReset, FrameRecords, FrameHeartbeat:
+	default:
+		return Frame{}, 0, fmt.Errorf("%w: kind %d", ErrFrame, payload[0])
+	}
+	rest := payload[1:]
+	epoch, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return Frame{}, 0, fmt.Errorf("%w: epoch varint", ErrFrame)
+	}
+	rest = rest[sz:]
+	end, sz := binary.Uvarint(rest)
+	if sz <= 0 || end > 1<<62 {
+		return Frame{}, 0, fmt.Errorf("%w: end varint", ErrFrame)
+	}
+	rest = rest[sz:]
+	f.Epoch = epoch
+	f.End = int64(end)
+	switch f.Kind {
+	case FrameReset, FrameHeartbeat:
+		if len(rest) != 0 {
+			return Frame{}, 0, fmt.Errorf("%w: unexpected data on kind %d", ErrFrame, f.Kind)
+		}
+	default:
+		f.Data = append([]byte(nil), rest...)
+	}
+	return f, 8 + int(ln), nil
+}
+
+// frameReader pulls whole frames off a streaming feed body.
+type frameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// next blocks until one complete frame is read (or the stream ends).
+func (fr *frameReader) next() (Frame, error) {
+	for {
+		if f, n, err := DecodeFrame(fr.buf); err != nil {
+			return Frame{}, err
+		} else if n > 0 {
+			fr.buf = append(fr.buf[:0], fr.buf[n:]...)
+			return f, nil
+		}
+		var chunk [32 * 1024]byte
+		n, err := fr.r.Read(chunk[:])
+		if n > 0 {
+			fr.buf = append(fr.buf, chunk[:n]...)
+			continue
+		}
+		if err == nil {
+			err = io.ErrNoProgress
+		}
+		return Frame{}, err
+	}
+}

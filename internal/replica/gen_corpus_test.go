@@ -1,0 +1,37 @@
+package replica
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenCorpus regenerates the checked-in fuzz seed corpus when
+// PRODSYS_GEN_CORPUS=1; normally it just verifies the files parse.
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("PRODSYS_GEN_CORPUS") != "1" {
+		t.Skip("set PRODSYS_GEN_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReplicaFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[string][]byte{
+		"snapshot":  EncodeFrame(Frame{Kind: FrameSnapshot, Epoch: 1, End: 16, Data: []byte("#relation Emp name\n1\ty:a\n")}),
+		"reset":     EncodeFrame(Frame{Kind: FrameReset, Epoch: 9, End: 16}),
+		"records":   EncodeFrame(Frame{Kind: FrameRecords, Epoch: 3, End: 4096, Data: []byte{0, 0, 0, 1, 0, 0, 0, 0, 0xff}}),
+		"heartbeat": EncodeFrame(Frame{Kind: FrameHeartbeat, Epoch: 2, End: 1 << 20}),
+	}
+	trunc := seeds["snapshot"]
+	seeds["truncated"] = trunc[:len(trunc)-2]
+	corrupt := append([]byte(nil), seeds["records"]...)
+	corrupt[9] ^= 0xff
+	seeds["corrupt"] = corrupt
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

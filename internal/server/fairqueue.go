@@ -1,0 +1,132 @@
+package server
+
+import (
+	"sync"
+
+	"prodsys/internal/metrics"
+)
+
+// fairQueue is the admission semaphore with per-client fairness: up to
+// capacity requests execute at once; excess arrivals wait in per-client
+// FIFO queues granted round-robin across clients, so one hot client
+// saturating the queue cannot starve everyone else — its requests wait
+// behind one slot per turn of the ring while other clients' requests
+// interleave. The total number of waiters is bounded by maxWait;
+// arrivals beyond it are shed.
+type fairQueue struct {
+	mu       sync.Mutex
+	capacity int
+	maxWait  int
+	inUse    int
+	waiting  int
+	queues   map[string][]*fqWaiter
+	ring     []string // clients with waiters, granted head-first then rotated
+}
+
+// fqWaiter is one queued request. granted/abandoned are guarded by the
+// queue mutex; ready closes at grant time.
+type fqWaiter struct {
+	client    string
+	ready     chan struct{}
+	granted   bool
+	abandoned bool
+}
+
+func newFairQueue(capacity, maxWait int) *fairQueue {
+	return &fairQueue{
+		capacity: capacity,
+		maxWait:  maxWait,
+		queues:   make(map[string][]*fqWaiter),
+	}
+}
+
+// enqueue claims a slot for client. A nil waiter with a nil error means
+// the slot was granted immediately; a non-nil waiter means the caller
+// must wait on waiter.ready (and abandon it if it gives up). A full
+// wait queue returns ErrOverloaded. stats records the high-water count
+// of distinct clients queued together.
+func (q *fairQueue) enqueue(client string, stats *metrics.Set) (*fqWaiter, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.inUse < q.capacity && q.waiting == 0 {
+		q.inUse++
+		return nil, nil
+	}
+	if q.waiting >= q.maxWait {
+		return nil, ErrOverloaded
+	}
+	w := &fqWaiter{client: client, ready: make(chan struct{})}
+	if _, exists := q.queues[client]; !exists {
+		q.ring = append(q.ring, client)
+	}
+	q.queues[client] = append(q.queues[client], w)
+	q.waiting++
+	stats.Max(metrics.ServerQueueClients, int64(len(q.queues)))
+	return w, nil
+}
+
+// abandon withdraws a waiter that gave up (context cancelled, drain).
+// It reports true when the withdrawal won — the waiter never got a
+// slot; false means a grant raced it, and the caller now owns a slot
+// it must release.
+func (q *fairQueue) abandon(w *fqWaiter) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if w.granted {
+		return false
+	}
+	w.abandoned = true
+	q.waiting--
+	return true
+}
+
+// release returns a slot: the next waiter in the round-robin ring
+// inherits it, otherwise the slot goes idle.
+func (q *fairQueue) release() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.grantLocked() {
+		return
+	}
+	q.inUse--
+}
+
+// grantLocked hands the caller's slot to the head waiter of the ring's
+// first client, then rotates that client to the back — round-robin
+// admission. Abandoned waiters are discarded in passing. Reports
+// whether a waiter took the slot.
+func (q *fairQueue) grantLocked() bool {
+	for len(q.ring) > 0 {
+		client := q.ring[0]
+		queue := q.queues[client]
+		for len(queue) > 0 && queue[0].abandoned {
+			queue = queue[1:]
+		}
+		if len(queue) == 0 {
+			delete(q.queues, client)
+			q.ring = q.ring[1:]
+			continue
+		}
+		w := queue[0]
+		queue = queue[1:]
+		w.granted = true
+		close(w.ready)
+		q.waiting--
+		if len(queue) == 0 {
+			delete(q.queues, client)
+			q.ring = q.ring[1:]
+		} else {
+			q.queues[client] = queue
+			q.ring = append(q.ring[1:], client)
+		}
+		return true
+	}
+	return false
+}
+
+// depth reports (in-use slots, waiters) for tests and observability.
+func (q *fairQueue) depth() (inUse, waiting int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inUse, q.waiting
+}

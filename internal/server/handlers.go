@@ -6,21 +6,32 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
 	"prodsys"
+	"prodsys/internal/metrics"
+	"prodsys/internal/replica"
 )
 
 // routes mounts every endpoint. Mutating endpoints (batch, run, quel,
-// audit) pass through admission control; cheap snapshot reads (wm,
-// plans, metrics, health) bypass it so observability survives overload.
+// audit, promote) pass through admission control; cheap snapshot reads
+// (wm, plans, metrics, health) bypass it so observability survives
+// overload, and the replication feed bypasses it because it is a
+// long-lived stream, not a unit of work.
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/batch", s.admitted(s.handleBatch))
 	s.mux.HandleFunc("POST /v1/run", s.admitted(s.handleRun))
 	s.mux.HandleFunc("POST /v1/quel", s.admitted(s.handleQuel))
 	s.mux.HandleFunc("POST /v1/audit", s.admitted(s.handleAudit))
+	s.mux.HandleFunc("POST /v1/promote", s.admitted(s.handlePromote))
+	s.mux.HandleFunc("GET /v1/wal", s.handleWALFeed)
+	s.mux.HandleFunc("GET /v1/replication", s.handleReplication)
+	s.mux.HandleFunc("GET /v1/conflicts", s.handleConflicts)
 	s.mux.HandleFunc("GET /v1/wm", s.handleWM)
 	s.mux.HandleFunc("GET /v1/plans", s.handlePlans)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -32,30 +43,52 @@ func (s *Server) routes() {
 
 // errorBody is the JSON shape of every non-2xx response.
 type errorBody struct {
-	Error    string `json:"error"`
-	ReadOnly bool   `json:"read_only,omitempty"`
-	Draining bool   `json:"draining,omitempty"`
+	Error      string `json:"error"`
+	ReadOnly   bool   `json:"read_only,omitempty"`
+	Draining   bool   `json:"draining,omitempty"`
+	Replica    bool   `json:"replica,omitempty"`
+	Primary    string `json:"primary,omitempty"`
+	StaleEpoch bool   `json:"stale_epoch,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
+}
+
+// retryAfter emits jittered Retry-After headers: the coarse standard
+// header in whole seconds plus Retry-After-Ms with ±50% jitter, so a
+// fleet of shed clients does not come back in one synchronized
+// stampede.
+func retryAfter(w http.ResponseWriter, base time.Duration) {
+	ms := base.Milliseconds()
+	jittered := ms/2 + rand.Int63n(ms+1)
+	w.Header().Set("Retry-After", strconv.FormatInt((jittered+999)/1000, 10))
+	w.Header().Set("Retry-After-Ms", strconv.FormatInt(jittered, 10))
 }
 
 // writeErr maps an error to its HTTP status per the shedding contract:
-// overload → 429 + Retry-After, drain/read-only/closed → 503, deadline
-// → 504, caller mistakes → 400/404, everything else → 500.
+// overload → 429 + jittered Retry-After, drain/read-only/closed → 503,
+// replica mode → 503 naming the primary, deadline → 504, caller
+// mistakes → 400/404, everything else → 500.
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	body := errorBody{Error: err.Error()}
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		retryAfter(w, time.Second)
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "5")
+		retryAfter(w, 5*time.Second)
 		body.Draining = true
+	case errors.Is(err, prodsys.ErrReplica):
+		status = http.StatusServiceUnavailable
+		body.Replica = true
+		body.Primary = s.sys.ReplicaOf()
 	case errors.Is(err, prodsys.ErrReadOnly):
 		status = http.StatusServiceUnavailable
 		body.ReadOnly = true
 	case errors.Is(err, prodsys.ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, prodsys.ErrNotReplica), errors.Is(err, prodsys.ErrPromotionGate):
+		status = http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, prodsys.ErrUnknownClass), errors.Is(err, prodsys.ErrUnknownRule):
@@ -66,6 +99,46 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, body)
 }
 
+// clientID identifies the caller for fair queueing: the X-Client-ID
+// header when present, else the remote address host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// checkFence enforces stale-epoch fencing on mutating requests: a
+// request tagged with X-Prodsys-Epoch is rejected with 409 unless the
+// tag matches the live WAL epoch. A resurrected old primary whose
+// clients moved to a promoted replica carries the new epoch in its
+// requests and so fences every write against the stale node.
+func (s *Server) checkFence(w http.ResponseWriter, r *http.Request) bool {
+	tag := r.Header.Get("X-Prodsys-Epoch")
+	if tag == "" {
+		return true
+	}
+	want, err := strconv.ParseUint(tag, 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad X-Prodsys-Epoch %q", tag)})
+		return false
+	}
+	epoch, _, ok := s.sys.WALPosition()
+	if !ok || epoch != want {
+		s.stats.Inc(metrics.FencedWrites)
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error:      fmt.Sprintf("stale epoch: request fenced at %d, log at %d", want, epoch),
+			StaleEpoch: true,
+			Epoch:      epoch,
+		})
+		return false
+	}
+	return true
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -74,12 +147,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// admitted wraps a handler with admission control and the per-request
-// deadline: acquire a slot (or shed), run under a context the engine
-// honors mid-transaction, release.
+// admitted wraps a handler with epoch fencing, admission control, and
+// the per-request deadline: acquire a slot (or shed), run under a
+// context the engine honors mid-transaction, release.
 func (s *Server) admitted(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		release, err := s.acquire(r.Context())
+		if !s.checkFence(w, r) {
+			return
+		}
+		release, err := s.acquire(r.Context(), clientID(r))
 		if err != nil {
 			s.writeErr(w, err)
 			return
@@ -331,6 +407,112 @@ func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
 		Txns: rec.Txns, Ops: rec.Ops, TornTail: rec.TornTail,
 		ElapsedNS: rec.Elapsed.Nanoseconds(),
 	})
+}
+
+// handleWALFeed streams the WAL to a replica (internal/replica
+// protocol). Long-lived; ends on client disconnect or drain.
+func (s *Server) handleWALFeed(w http.ResponseWriter, r *http.Request) {
+	replica.ServeFeed(w, r, replica.FeedConfig{
+		Log:       s.sys.WALLog(),
+		Stats:     s.stats,
+		Poll:      s.cfg.FeedPoll,
+		Heartbeat: s.cfg.FeedHeartbeat,
+		Done:      s.drainCh,
+	})
+}
+
+type promoteResponse struct {
+	Promoted     bool     `json:"promoted"`
+	Epoch        uint64   `json:"epoch"`
+	Matcher      string   `json:"matcher,omitempty"`
+	RulesChecked int      `json:"rules_checked"`
+	Divergences  []string `json:"divergences,omitempty"`
+}
+
+// handlePromote turns a replica into a primary: stop the feed client,
+// truncate the mirrored log to its last complete committed unit, pass
+// the full-audit promotion gate, bump the epoch (the fencing token),
+// open writes. A failed gate leaves the node a replica and returns 409
+// with the divergences.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !s.sys.IsReplica() {
+		s.writeErr(w, prodsys.ErrNotReplica)
+		return
+	}
+	if s.cfg.StopReplication != nil {
+		s.cfg.StopReplication()
+	}
+	rep, err := s.sys.Promote()
+	resp := promoteResponse{Promoted: err == nil}
+	if epoch, _, ok := s.sys.WALPosition(); ok {
+		resp.Epoch = epoch
+	}
+	if rep != nil {
+		resp.Matcher = rep.Matcher
+		resp.RulesChecked = rep.RulesChecked
+		for _, d := range rep.Divergences {
+			resp.Divergences = append(resp.Divergences, d.String())
+		}
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, prodsys.ErrPromotionGate) || errors.Is(err, prodsys.ErrNotReplica) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, struct {
+			promoteResponse
+			Error string `json:"error"`
+		}{resp, err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type replicationResponse struct {
+	Role         string `json:"role"` // "primary" | "replica"
+	Primary      string `json:"primary,omitempty"`
+	Epoch        uint64 `json:"epoch"`
+	Offset       int64  `json:"offset"`
+	LagBytes     int64  `json:"lag_bytes"`
+	TxnsApplied  int64  `json:"txns_applied"`
+	Snapshots    int64  `json:"snapshots"`
+	FeedsServed  int64  `json:"feeds_served"`
+	Promotions   int64  `json:"promotions"`
+	FencedWrites int64  `json:"fenced_writes"`
+}
+
+// handleReplication reports the node's replication state: role, feed
+// cursor, and lag (meaningful on a replica).
+func (s *Server) handleReplication(w http.ResponseWriter, r *http.Request) {
+	epoch, off, _ := s.sys.WALPosition()
+	rs := s.sys.Metrics().Replication
+	resp := replicationResponse{
+		Role: "primary", Epoch: epoch, Offset: off,
+		LagBytes: rs.LagBytes, TxnsApplied: rs.TxnsApplied, Snapshots: rs.Snapshots,
+		FeedsServed: rs.FeedsServed, Promotions: rs.Promotions, FencedWrites: rs.FencedWrites,
+	}
+	if s.sys.IsReplica() {
+		resp.Role = "replica"
+		resp.Primary = s.sys.ReplicaOf()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type conflictsResponse struct {
+	Keys  []string `json:"keys"`
+	Count int      `json:"count"`
+}
+
+// handleConflicts returns the conflict set's instantiation keys in
+// sorted order — the byte-comparable fingerprint the failover drill
+// checks between a promoted replica and its re-synced peer.
+func (s *Server) handleConflicts(w http.ResponseWriter, r *http.Request) {
+	keys := s.sys.ConflictKeys()
+	if keys == nil {
+		keys = []string{}
+	}
+	sort.Strings(keys)
+	writeJSON(w, http.StatusOK, conflictsResponse{Keys: keys, Count: len(keys)})
 }
 
 type healthResponse struct {

@@ -50,6 +50,14 @@ type Config struct {
 	// DrainTimeout bounds how long Drain waits for in-flight requests
 	// before checkpointing and closing anyway; 0 means 10s.
 	DrainTimeout time.Duration
+	// StopReplication, when set on a replica, stops the feed client
+	// (blocking until no apply is in flight) before /v1/promote runs the
+	// promotion sequence. psserve wires this to its replica.Client.
+	StopReplication func()
+	// FeedPoll and FeedHeartbeat tune the /v1/wal replication feed; zero
+	// means the replica package defaults (50ms / 500ms).
+	FeedPoll      time.Duration
+	FeedHeartbeat time.Duration
 }
 
 func (c *Config) fill() {
@@ -75,11 +83,11 @@ type Server struct {
 	stats *metrics.Set
 	mux   *http.ServeMux
 
-	// Admission control: slots is the in-flight semaphore, waiting the
-	// bounded wait-queue depth. drainCh closes when draining flips, so
-	// queued waiters fail fast instead of outliving the drain.
-	slots    chan struct{}
-	waiting  atomic.Int64
+	// Admission control: fq is the per-client fair queue (execution
+	// slots plus a bounded, round-robin wait queue). drainCh closes when
+	// draining flips, so queued waiters fail fast instead of outliving
+	// the drain.
+	fq       *fairQueue
 	draining atomic.Bool
 	drainCh  chan struct{}
 
@@ -105,7 +113,7 @@ func New(sys *prodsys.System, cfg Config) *Server {
 		sys:       sys,
 		cfg:       cfg,
 		stats:     sys.CounterSet(),
-		slots:     make(chan struct{}, cfg.MaxInFlight),
+		fq:        newFairQueue(cfg.MaxInFlight, cfg.MaxQueue),
 		drainCh:   make(chan struct{}),
 		startedAt: time.Now(),
 	}
@@ -123,38 +131,48 @@ func (s *Server) System() *prodsys.System { return s.sys }
 // Draining reports whether Drain has started.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// acquire admits one request: it claims a wait-queue position, then an
-// execution slot, honoring ctx and drain. The returned release must be
-// called exactly once when the request finishes.
-func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+// acquire admits one request from the named client: it claims a fair
+// wait-queue position (round-robin across clients, so one hot client
+// cannot starve the rest), then an execution slot, honoring ctx and
+// drain. The returned release must be called exactly once when the
+// request finishes.
+func (s *Server) acquire(ctx context.Context, client string) (release func(), err error) {
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
-	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
-		s.waiting.Add(-1)
+	w, err := s.fq.enqueue(client, s.stats)
+	if err != nil {
 		s.stats.Inc(metrics.ServerRejected)
-		return nil, ErrOverloaded
+		return nil, err
 	}
-	defer s.waiting.Add(-1)
-	select {
-	case s.slots <- struct{}{}:
-	case <-ctx.Done():
-		s.stats.Inc(metrics.ServerRejected)
-		return nil, fmt.Errorf("%w: queue wait: %w", ErrOverloaded, ctx.Err())
-	case <-s.drainCh:
-		return nil, ErrDraining
+	if w != nil {
+		select {
+		case <-w.ready:
+		case <-ctx.Done():
+			if !s.fq.abandon(w) {
+				// Granted while we were giving up: we own a slot, return it.
+				s.fq.release()
+			}
+			s.stats.Inc(metrics.ServerRejected)
+			return nil, fmt.Errorf("%w: queue wait: %w", ErrOverloaded, ctx.Err())
+		case <-s.drainCh:
+			if !s.fq.abandon(w) {
+				s.fq.release()
+			}
+			return nil, ErrDraining
+		}
 	}
 	s.admitMu.Lock()
 	if s.draining.Load() {
 		s.admitMu.Unlock()
-		<-s.slots
+		s.fq.release()
 		return nil, ErrDraining
 	}
 	s.wg.Add(1)
 	s.admitMu.Unlock()
 	s.stats.Inc(metrics.ServerAdmitted)
 	return func() {
-		<-s.slots
+		s.fq.release()
 		if s.draining.Load() {
 			s.stats.Inc(metrics.ServerDrained)
 		}
@@ -201,8 +219,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	// Checkpoint compacts the log for the fastest possible next-boot
-	// recovery; skipped when degraded (the log may be unwritable).
-	if !s.sys.ReadOnly() {
+	// recovery; skipped when degraded (the log may be unwritable) and on
+	// replicas (a local checkpoint would bump the epoch and break the
+	// byte-for-byte mirror of the primary's log).
+	if !s.sys.ReadOnly() && !s.sys.IsReplica() {
 		_ = s.sys.Checkpoint()
 	}
 	err := s.sys.Close()

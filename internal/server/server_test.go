@@ -45,6 +45,12 @@ func newServer(t *testing.T, cfg Config, opts prodsys.Options) (*Server, *httpte
 	return srv, ts
 }
 
+// waitingOf reads the fair queue's waiter count.
+func waitingOf(srv *Server) int {
+	_, waiting := srv.fq.depth()
+	return waiting
+}
+
 func postJSON(t *testing.T, url, body string) (int, map[string]any, http.Header) {
 	t.Helper()
 	resp, err := http.Post(url, "application/json", strings.NewReader(body))
@@ -176,13 +182,13 @@ func TestOverloadSheds(t *testing.T) {
 	srv, ts := newServer(t, Config{MaxInFlight: 1, MaxQueue: 1}, prodsys.Options{})
 
 	// Occupy the single slot and the single queue position directly.
-	release, err := srv.acquire(context.Background())
+	release, err := srv.acquire(context.Background(), "test")
 	if err != nil {
 		t.Fatal(err)
 	}
 	acquired := make(chan struct{})
 	go func() {
-		r, err := srv.acquire(context.Background())
+		r, err := srv.acquire(context.Background(), "test")
 		if err == nil {
 			r()
 		}
@@ -191,10 +197,10 @@ func TestOverloadSheds(t *testing.T) {
 	// Wait until the goroutine is counted in the queue (it blocks on
 	// the slot channel inside acquire).
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.waiting.Load() < 1 && time.Now().Before(deadline) {
+	for waitingOf(srv) < 1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if srv.waiting.Load() < 1 {
+	if waitingOf(srv) < 1 {
 		t.Fatal("queued acquire never registered")
 	}
 
@@ -216,14 +222,14 @@ func TestOverloadSheds(t *testing.T) {
 // shed as overloaded rather than waiting forever.
 func TestAcquireHonorsContext(t *testing.T) {
 	srv, _ := newServer(t, Config{MaxInFlight: 1, MaxQueue: 4}, prodsys.Options{})
-	release, err := srv.acquire(context.Background())
+	release, err := srv.acquire(context.Background(), "test")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer release()
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if _, err := srv.acquire(ctx); !errors.Is(err, ErrOverloaded) {
+	if _, err := srv.acquire(ctx, "test"); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("expired queue wait: %v", err)
 	}
 }
@@ -235,7 +241,7 @@ func TestDrain(t *testing.T) {
 	srv, ts := newServer(t, Config{MaxInFlight: 2, DrainTimeout: 5 * time.Second}, prodsys.Options{})
 
 	// Hold an in-flight admission so Drain must wait for it.
-	release, err := srv.acquire(context.Background())
+	release, err := srv.acquire(context.Background(), "test")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,6 +55,9 @@ const (
 	KindRepair          // derived state was rebuilt after a divergence (Extra = scope)
 	KindPanicContained  // a panicking firing or maintenance step was absorbed (Extra = value)
 	KindReadOnly        // a WAL failure flipped the system read-only (Extra = cause)
+	// Replication layer.
+	KindReplicaApply // a shipped committed unit was applied on a replica (Count = ops, ID = epoch)
+	KindReplicaLag   // a feed heartbeat measured replication lag (Count = lag bytes, ID = epoch)
 
 	kindCount
 )
@@ -85,6 +88,8 @@ var kindNames = [kindCount]string{
 	KindRepair:           "repair",
 	KindPanicContained:   "panic_contained",
 	KindReadOnly:         "read_only",
+	KindReplicaApply:     "replica_apply",
+	KindReplicaLag:       "replica_lag",
 }
 
 // String returns the stable snake_case name of the kind.

@@ -134,3 +134,84 @@ func TestGroupCommitSyncFailureSticks(t *testing.T) {
 		t.Fatalf("second wait after failed sync: %v", err)
 	}
 }
+
+// TestStickyGroupErrorRacesCheckpointAndClose drives concurrent
+// committers into an injected write failure while a maintenance
+// goroutine races a Checkpoint (even rounds) or Close (odd rounds)
+// against the blocked waiters. Required outcome, every schedule: no
+// deadlock, no panic, at least one caller surfaces the injected error,
+// the error is sticky for all later operations, and whatever bytes
+// survive on disk reboot cleanly.
+func TestStickyGroupErrorRacesCheckpointAndClose(t *testing.T) {
+	for round := 0; round < 24; round++ {
+		fs := faultfs.New()
+		l, _ := openMem(t, fs, Options{Policy: SyncGroup, Stats: &metrics.Set{}})
+		var mu sync.Mutex // serializes appends/maintenance, as engine maintMu does
+
+		// A durable base so the failure lands mid-stream, not at genesis.
+		for j := 0; j < 2; j++ {
+			if err := l.AppendBatch(sampleOps()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.WaitDurable(l.LastSeq()); err != nil {
+			t.Fatal(err)
+		}
+
+		fs.FailWrite(1+round%4, 0, false) // tear an upcoming write
+
+		const committers = 4
+		var wg sync.WaitGroup
+		errs := make([]error, committers+1)
+		for c := 0; c < committers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				mu.Lock()
+				err := l.AppendBatch(sampleOps())
+				seq := l.LastSeq()
+				mu.Unlock()
+				if err == nil {
+					err = l.WaitDurable(seq)
+				}
+				errs[c] = err
+			}(c)
+		}
+		closing := round%2 == 1
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			if closing {
+				errs[committers] = l.Close()
+			} else {
+				errs[committers] = l.Checkpoint(dumpConst("SNAP\n"))
+			}
+		}()
+		wg.Wait()
+		if !closing {
+			errs = append(errs, l.Close())
+		}
+
+		saw := false
+		for _, err := range errs {
+			saw = saw || err != nil
+		}
+		if !saw {
+			t.Fatalf("round %d: injected write failure never surfaced", round)
+		}
+		// Sticky after the dust settles: the closed, failed log refuses
+		// further work.
+		if err := l.AppendBatch(sampleOps()); err == nil {
+			t.Fatalf("round %d: append accepted after failure+close", round)
+		}
+		// The surviving image reboots; a torn tail is legal, corruption
+		// of the committed prefix is not.
+		l2, rec := openMem(t, faultfs.FromSnapshot(fs.Snapshot()), Options{})
+		if len(rec.Txns) > 2+committers {
+			t.Fatalf("round %d: recovered %d units, appended at most %d", round, len(rec.Txns), 2+committers)
+		}
+		l2.Close()
+	}
+}

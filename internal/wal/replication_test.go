@@ -1,0 +1,244 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"prodsys/internal/faultfs"
+)
+
+// buildLog returns the raw file bytes of a log holding the given unit
+// keys (one AppendTxn per key, sampleOps each).
+func buildLog(t *testing.T, keys ...string) []byte {
+	t.Helper()
+	fs := faultfs.New()
+	l, _ := openMem(t, fs, Options{})
+	for _, k := range keys {
+		if err := l.AppendTxn(k, sampleOps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	return fs.Snapshot()[testPath]
+}
+
+func scanKeys(txns []Txn) []string {
+	keys := make([]string, len(txns))
+	for i, txn := range txns {
+		keys[i] = txn.Key
+	}
+	return keys
+}
+
+func TestStreamScannerChunked(t *testing.T) {
+	data := buildLog(t, "A", "B", "C")
+	_, want, _, _ := ScanLog(data)
+	records := data[headerLen:]
+	for _, chunk := range []int{1, 3, 7, len(records)} {
+		var sc StreamScanner
+		var got []Txn
+		for pos := 0; pos < len(records); pos += chunk {
+			end := pos + chunk
+			if end > len(records) {
+				end = len(records)
+			}
+			txns, err := sc.Feed(records[pos:end])
+			if err != nil {
+				t.Fatalf("chunk=%d: Feed: %v", chunk, err)
+			}
+			got = append(got, txns...)
+		}
+		if sc.Pending() {
+			t.Fatalf("chunk=%d: scanner still pending after full input", chunk)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: %d units, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key || !opsEqual(got[i].Ops, want[i].Ops) {
+				t.Fatalf("chunk=%d: unit %d mismatch", chunk, i)
+			}
+		}
+	}
+}
+
+func TestStreamScannerPendingAndReset(t *testing.T) {
+	data := buildLog(t, "A")
+	records := data[headerLen:]
+	var sc StreamScanner
+	// Feed everything but the last few bytes: the unit's commit record
+	// is incomplete, so nothing completes and the scanner holds state.
+	txns, err := sc.Feed(records[:len(records)-3])
+	if err != nil || len(txns) != 0 {
+		t.Fatalf("partial feed: txns=%d err=%v", len(txns), err)
+	}
+	if !sc.Pending() {
+		t.Fatal("scanner not pending mid-unit")
+	}
+	sc.Reset()
+	if sc.Pending() {
+		t.Fatal("scanner pending after Reset")
+	}
+	// After a reset the scanner accepts a fresh record stream.
+	txns, err = sc.Feed(records)
+	if err != nil || len(txns) != 1 || txns[0].Key != "A" {
+		t.Fatalf("feed after reset: txns=%+v err=%v", txns, err)
+	}
+}
+
+func TestStreamScannerCorrupt(t *testing.T) {
+	data := buildLog(t, "A")
+	records := append([]byte(nil), data[headerLen:]...)
+	records[9] ^= 0xff // payload byte: CRC mismatch
+	var sc StreamScanner
+	if _, err := sc.Feed(records); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt feed: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAppendRawMirrors(t *testing.T) {
+	src := buildLog(t, "A", "B")
+	_, want, _, _ := ScanLog(src)
+
+	fs := faultfs.New()
+	l, _ := openMem(t, fs, Options{})
+	if err := l.AppendRaw(src[headerLen:], len(want)); err != nil {
+		t.Fatal(err)
+	}
+	// The mirror is byte-identical to the source log.
+	if !bytes.Equal(fs.Snapshot()[testPath], src) {
+		t.Fatal("mirrored log differs from source bytes")
+	}
+	epoch, size := l.Position()
+	if epoch != 1 || size != int64(len(src)) {
+		t.Fatalf("position after raw append = %d:%d, want 1:%d", epoch, size, len(src))
+	}
+	// Transaction IDs continue past the mirrored records, so a promoted
+	// mirror does not mint colliding IDs.
+	if err := l.AppendTxn("C", nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, rec := openMem(t, faultfs.FromSnapshot(fs.Snapshot()), Options{})
+	if rec.TornTail || len(rec.Txns) != 3 || rec.Txns[2].Key != "C" {
+		t.Fatalf("mirror reopen: torn=%v keys=%v", rec.TornTail, scanKeys(rec.Txns))
+	}
+}
+
+func TestTruncateTailToUnitBoundary(t *testing.T) {
+	whole := buildLog(t, "A", "B")
+	end := LastUnitBoundary(whole)
+	if end != int64(len(whole)) {
+		t.Fatalf("clean log boundary %d, want %d", end, len(whole))
+	}
+	extra := buildLog(t, "A", "B", "C")
+
+	fs := faultfs.New()
+	l, _ := openMem(t, fs, Options{})
+	// Mirror units A and B plus a torn fragment of C's records.
+	if err := l.AppendRaw(extra[headerLen:end+5], 2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := l.TruncateTail()
+	if err != nil || n != 5 {
+		t.Fatalf("TruncateTail = %d, %v; want 5 discarded", n, err)
+	}
+	if epoch, size := l.Position(); epoch != 1 || size != end {
+		t.Fatalf("position after truncate = %d:%d, want 1:%d", epoch, size, end)
+	}
+	// Idempotent: a log already ending on a boundary discards nothing.
+	if n, err := l.TruncateTail(); err != nil || n != 0 {
+		t.Fatalf("second TruncateTail = %d, %v", n, err)
+	}
+	// The truncated log stays appendable and recovers clean.
+	if err := l.AppendTxn("D", nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, rec := openMem(t, faultfs.FromSnapshot(fs.Snapshot()), Options{})
+	if rec.TornTail {
+		t.Fatal("torn tail after truncate")
+	}
+	if got := scanKeys(rec.Txns); len(got) != 3 || got[2] != "D" {
+		t.Fatalf("after truncate: keys=%v", got)
+	}
+}
+
+func TestAdoptCheckpoint(t *testing.T) {
+	fs := faultfs.New()
+	l, _ := openMem(t, fs, Options{})
+	l.AppendTxn("old", nil)
+	if err := l.AdoptCheckpoint(7, []byte("#relation Emp name\n1\ty:a\n")); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, size := l.Position(); epoch != 7 || size != int64(headerLen) {
+		t.Fatalf("position after adopt = %d:%d", epoch, size)
+	}
+	// PrevBoundary records where the retired epoch ended — the cursor an
+	// exactly-caught-up replica presents for an epoch-follow.
+	if pe, _ := l.PrevBoundary(); pe != 1 {
+		t.Fatalf("prev boundary epoch = %d, want 1", pe)
+	}
+	if err := l.AppendTxn("new", nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, rec := openMem(t, faultfs.FromSnapshot(fs.Snapshot()), Options{})
+	if string(rec.Checkpoint) != "#relation Emp name\n1\ty:a\n" {
+		t.Fatalf("adopted checkpoint not recovered: %q", rec.Checkpoint)
+	}
+	if got := scanKeys(rec.Txns); len(got) != 1 || got[0] != "new" {
+		t.Fatalf("units after adopt: %v (unit before the adopt must be gone)", got)
+	}
+}
+
+func TestCheckpointAsValidatesEpoch(t *testing.T) {
+	l, _ := openMem(t, faultfs.New(), Options{})
+	defer l.Close()
+	if err := l.CheckpointAs(1, dumpConst("")); err == nil {
+		t.Fatal("CheckpointAs accepted a non-advancing epoch")
+	}
+	if err := l.CheckpointAs(5, dumpConst("SNAP\n")); err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", l.Epoch())
+	}
+}
+
+func TestValidPrefixVsUnitBoundary(t *testing.T) {
+	data := buildLog(t, "A", "B")
+	_, _, bounds, _ := ScanLog(data)
+	if ValidPrefix(data) != int64(len(data)) {
+		t.Fatalf("ValidPrefix(whole) = %d, want %d", ValidPrefix(data), len(data))
+	}
+	// Cut mid-record: the valid prefix retreats to the last complete
+	// record, the unit boundary to the last complete committed unit —
+	// distinct cuts whenever a trailing unit is partially present.
+	cut := data[:bounds[len(bounds)-1]-2]
+	if got, want := ValidPrefix(cut), bounds[len(bounds)-2]; got != want {
+		t.Fatalf("ValidPrefix(torn) = %d, want %d", got, want)
+	}
+	unitEnd := LastUnitBoundary(cut)
+	if unitEnd >= ValidPrefix(cut) && unitEnd != int64(headerLen) {
+		// B's commit record was cut, so the unit boundary is A's end,
+		// strictly before the record-level prefix.
+		if unitEnd >= bounds[len(bounds)-2] {
+			t.Fatalf("LastUnitBoundary(torn) = %d, not before %d", unitEnd, bounds[len(bounds)-2])
+		}
+	}
+	if ValidPrefix([]byte("garbage")) != -1 || LastUnitBoundary([]byte("garbage")) != -1 {
+		t.Fatal("bad header not rejected")
+	}
+}
+
+func TestLogEpoch(t *testing.T) {
+	data := buildLog(t, "A")
+	if e, ok := LogEpoch(data); !ok || e != 1 {
+		t.Fatalf("LogEpoch = %d, %v", e, ok)
+	}
+	if _, ok := LogEpoch([]byte("nope")); ok {
+		t.Fatal("LogEpoch accepted garbage")
+	}
+}

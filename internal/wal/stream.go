@@ -1,0 +1,74 @@
+package wal
+
+// This file is the incremental counterpart of ScanLog: a replication
+// feed delivers record bytes in arbitrary chunks — a begin record in
+// one chunk, its ops and commit in later ones — and the replica must
+// apply committed units as their commits arrive while holding earlier
+// records of still-open units pending. StreamScanner carries the
+// decoder state across chunks.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// StreamScanner folds framed record bytes, fed in arbitrary chunks,
+// into committed units. The zero value is ready to use; Reset it after
+// an epoch change or snapshot bootstrap.
+type StreamScanner struct {
+	buf     []byte
+	pending map[uint64]*Txn
+	order   []uint64
+}
+
+// Reset drops any buffered partial record and open units — called when
+// the stream restarts at a snapshot or a new epoch.
+func (s *StreamScanner) Reset() {
+	s.buf = nil
+	s.pending = nil
+	s.order = nil
+}
+
+// Pending reports buffered bytes not yet part of a committed unit: a
+// partial record plus any records of still-open units.
+func (s *StreamScanner) Pending() bool {
+	return len(s.buf) > 0 || len(s.pending) > 0
+}
+
+// Feed appends chunk to the scanner and returns every unit whose commit
+// record completed inside it, in commit order. Feed only consumes whole,
+// checksum-valid records; a partial record tail stays buffered for the
+// next chunk. A checksum or structure failure is a real stream
+// corruption (the feed ships only validated bytes), returned as
+// ErrCorrupt — the caller should drop the connection and re-bootstrap.
+func (s *StreamScanner) Feed(chunk []byte) ([]Txn, error) {
+	s.buf = append(s.buf, chunk...)
+	if s.pending == nil {
+		s.pending = make(map[uint64]*Txn)
+	}
+	var done []Txn
+	pos := 0
+	for {
+		if len(s.buf)-pos < 8 {
+			break
+		}
+		n := binary.BigEndian.Uint32(s.buf[pos:])
+		if n > maxRecord {
+			return done, fmt.Errorf("%w: stream record length %d", ErrCorrupt, n)
+		}
+		if len(s.buf)-pos-8 < int(n) {
+			break
+		}
+		payload := s.buf[pos+8 : pos+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(s.buf[pos+4:]) {
+			return done, fmt.Errorf("%w: stream record checksum", ErrCorrupt)
+		}
+		if !applyRecord(payload, s.pending, &s.order, &done) {
+			return done, fmt.Errorf("%w: stream record structure", ErrCorrupt)
+		}
+		pos += 8 + int(n)
+	}
+	s.buf = append(s.buf[:0], s.buf[pos:]...)
+	return done, nil
+}

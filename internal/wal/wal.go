@@ -180,6 +180,17 @@ type Log struct {
 	syncedSeq uint64 // highest appendSeq covered by a completed fsync
 	gcBusy    bool
 	gcErr     error // sticky group-side failure (fsync error)
+
+	// Shipping position, guarded by gcMu so the replication feed can
+	// read it without the append lock: the live epoch and the log's byte
+	// size (header included). prevEpoch/prevSize remember the final
+	// position of the epoch the last checkpoint retired — a replica
+	// sitting exactly there was fully caught up and can follow the
+	// epoch bump without a snapshot.
+	posEpoch  uint64
+	posSize   int64
+	prevEpoch uint64
+	prevSize  int64
 }
 
 // ckptPath derives the checkpoint path from the log path.
@@ -226,6 +237,7 @@ func Open(path string, opts Options) (*Log, *Recovered, error) {
 	}
 	rewrite := true // write a fresh header (and valid prefix) before appending
 	var validTail []byte
+	size := int64(headerLen)
 	if logExists {
 		logEpoch, txns, bounds, torn := ScanLog(logData)
 		switch {
@@ -243,6 +255,7 @@ func Open(path string, opts Options) (*Log, *Recovered, error) {
 			rec.Txns = txns
 			rec.TornTail = torn
 			validTail = logData[headerLen:bounds[len(bounds)-1]]
+			size = bounds[len(bounds)-1]
 			// Seed the txn counter past every id seen in the tail so new
 			// units never collide with logged ones.
 			l.nextTxn = maxTxnID(logData[:bounds[len(bounds)-1]])
@@ -252,6 +265,8 @@ func Open(path string, opts Options) (*Log, *Recovered, error) {
 		}
 	}
 	l.epoch = epoch
+	l.posEpoch = epoch
+	l.posSize = size
 	rec.Epoch = epoch
 
 	if rewrite {
@@ -376,6 +391,7 @@ func (l *Log) appendUnit(recs [][]byte) error {
 	}
 	l.gcMu.Lock()
 	l.appendSeq++
+	l.posSize += bytes
 	l.gcMu.Unlock()
 	switch l.opts.Policy {
 	case SyncAlways:
@@ -390,6 +406,40 @@ func (l *Log) appendUnit(recs [][]byte) error {
 	}
 	return nil
 }
+
+// Position returns the live epoch and the log's byte size (header
+// included) — the (epoch, offset) coordinate replication ships from and
+// resumes at. Safe for concurrent use with appends.
+func (l *Log) Position() (epoch uint64, size int64) {
+	l.gcMu.Lock()
+	defer l.gcMu.Unlock()
+	return l.posEpoch, l.posSize
+}
+
+// setPosition publishes a new shipping coordinate after a file swap
+// (checkpoint, adopt, truncate).
+func (l *Log) setPosition(epoch uint64, size int64) {
+	l.gcMu.Lock()
+	l.posEpoch = epoch
+	l.posSize = size
+	l.gcMu.Unlock()
+}
+
+// PrevBoundary returns the final (epoch, size) of the log retired by
+// the most recent checkpoint — the coordinate a fully caught-up
+// replica sat at when the epoch bumped. Zero values before any
+// checkpoint this process lifetime.
+func (l *Log) PrevBoundary() (epoch uint64, size int64) {
+	l.gcMu.Lock()
+	defer l.gcMu.Unlock()
+	return l.prevEpoch, l.prevSize
+}
+
+// Path returns the log file path (the checkpoint lives at Path+".ckpt").
+func (l *Log) Path() string { return l.path }
+
+// FileSystem returns the filesystem the log writes through.
+func (l *Log) FileSystem() fsx.FS { return l.fs }
 
 // LastSeq returns the sequence number of the most recently appended
 // unit — the handle a committer passes to WaitDurable under the group
@@ -533,24 +583,37 @@ func (l *Log) CheckpointDue() bool {
 // rename and log reset is detected at open by the epoch mismatch and the
 // stale log is ignored.
 func (l *Log) Checkpoint(dump func(io.Writer) error) error {
+	return l.CheckpointAs(l.epoch+1, dump)
+}
+
+// CheckpointAs is Checkpoint with an explicit target epoch. Replication
+// uses it on the replica side to mirror the primary's epoch bumps: when
+// the feed announces a new epoch, the replica snapshots its own working
+// memory under that epoch, keeping local recovery self-contained while
+// staying position-compatible with the primary's log. The target must
+// be greater than the live epoch.
+func (l *Log) CheckpointAs(epoch uint64, dump func(io.Writer) error) error {
 	if l.err != nil {
 		return l.err
 	}
 	if l.f == nil {
 		return ErrClosed
 	}
+	if epoch <= l.epoch {
+		return fmt.Errorf("wal: checkpoint epoch %d not past live epoch %d", epoch, l.epoch)
+	}
 	// Exclude group-commit leaders while the file handle is swapped; the
 	// checkpoint itself makes everything appended so far durable, so
 	// waiters queued behind it are satisfied on release.
 	l.gcAcquire()
-	err := l.checkpointLocked(dump)
+	err := l.checkpointLocked(epoch, dump)
 	l.gcRelease(l.LastSeq(), err)
 	return err
 }
 
 // checkpointLocked is the body of Checkpoint; the caller holds the
 // group-commit slot (and serializes appends).
-func (l *Log) checkpointLocked(dump func(io.Writer) error) error {
+func (l *Log) checkpointLocked(newEpoch uint64, dump func(io.Writer) error) error {
 	tr := l.opts.Tracer
 	t0 := tr.Now()
 	// The log must be durable up to the snapshot before the snapshot can
@@ -558,7 +621,6 @@ func (l *Log) checkpointLocked(dump func(io.Writer) error) error {
 	if err := l.Sync(); err != nil {
 		return err
 	}
-	newEpoch := l.epoch + 1
 	err := fsx.WriteAtomic(l.fs, ckptPath(l.path), func(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "#pswal-checkpoint %d\n", newEpoch); err != nil {
 			return err
@@ -568,8 +630,21 @@ func (l *Log) checkpointLocked(dump func(io.Writer) error) error {
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
-	if err := l.resetFile(newEpoch, nil); err != nil {
-		return fmt.Errorf("wal: checkpoint log reset: %w", err)
+	if err := l.swapFreshLog(newEpoch); err != nil {
+		return err
+	}
+	l.opts.Stats.Inc(metrics.WALCheckpoints)
+	if tr.Enabled() {
+		tr.Emit(trace.Event{Kind: trace.KindCheckpoint, At: t0, Dur: tr.Now() - t0, CE: -1, ID: newEpoch})
+	}
+	return nil
+}
+
+// swapFreshLog replaces the log file with an empty one under epoch and
+// reopens the append handle; the caller holds the group-commit slot.
+func (l *Log) swapFreshLog(epoch uint64) error {
+	if err := l.resetFile(epoch, nil); err != nil {
+		return fmt.Errorf("wal: log reset: %w", err)
 	}
 	if err := l.f.Close(); err != nil {
 		l.err = err
@@ -581,14 +656,146 @@ func (l *Log) checkpointLocked(dump func(io.Writer) error) error {
 		return err
 	}
 	l.f = f
-	l.epoch = newEpoch
+	l.epoch = epoch
 	l.sinceCkp = 0
 	l.dirty = false
-	l.opts.Stats.Inc(metrics.WALCheckpoints)
-	if tr.Enabled() {
-		tr.Emit(trace.Event{Kind: trace.KindCheckpoint, At: t0, Dur: tr.Now() - t0, CE: -1, ID: newEpoch})
+	l.gcMu.Lock()
+	l.prevEpoch, l.prevSize = l.posEpoch, l.posSize
+	l.posEpoch, l.posSize = epoch, int64(headerLen)
+	l.gcMu.Unlock()
+	return nil
+}
+
+// AppendRaw appends pre-framed record bytes verbatim — the replica's
+// mirroring path: shipped bytes land in the local log unre-encoded, so
+// the replica's (epoch, offset) coordinates stay byte-compatible with
+// the primary's and a promoted replica can serve the feed itself. units
+// counts the committed units completed within raw (for checkpoint
+// accounting); the sync policy applies as for regular appends.
+func (l *Log) AppendRaw(raw []byte, units int) error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.f == nil {
+		return ErrClosed
+	}
+	if len(raw) == 0 {
+		return nil
+	}
+	n, err := l.f.Write(raw)
+	if err != nil {
+		l.err = fmt.Errorf("wal: append raw: %w", err)
+		return l.err
+	}
+	l.dirty = true
+	l.sinceCkp += units
+	if id := maxTxnIDRecords(raw); id > l.nextTxn {
+		l.nextTxn = id
+	}
+	l.opts.Stats.Add(metrics.WALAppends, int64(units))
+	l.opts.Stats.Add(metrics.WALBytes, int64(n))
+	l.gcMu.Lock()
+	l.appendSeq += uint64(units)
+	l.posSize += int64(n)
+	l.gcMu.Unlock()
+	switch l.opts.Policy {
+	case SyncAlways:
+		return l.Sync()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.Interval {
+			return l.Sync()
+		}
 	}
 	return nil
+}
+
+// AdoptCheckpoint installs a snapshot shipped by a replication feed:
+// the dump lands in the local checkpoint file under the primary's
+// epoch, and the log restarts empty at that epoch. The caller is
+// responsible for making working memory agree with the dump.
+func (l *Log) AdoptCheckpoint(epoch uint64, dump []byte) error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.f == nil {
+		return ErrClosed
+	}
+	l.gcAcquire()
+	err := l.adoptLocked(epoch, dump)
+	l.gcRelease(l.LastSeq(), err)
+	return err
+}
+
+func (l *Log) adoptLocked(epoch uint64, dump []byte) error {
+	err := fsx.WriteAtomic(l.fs, ckptPath(l.path), func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "#pswal-checkpoint %d\n", epoch); err != nil {
+			return err
+		}
+		_, err := w.Write(dump)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("wal: adopt checkpoint: %w", err)
+	}
+	if err := l.swapFreshLog(epoch); err != nil {
+		return err
+	}
+	l.nextTxn = 0
+	l.opts.Stats.Inc(metrics.WALCheckpoints)
+	return nil
+}
+
+// TruncateTail rewrites the log to end exactly at the last complete
+// committed-unit boundary — the promotion step that discards any
+// shipped records of a unit whose commit never arrived before the
+// primary died. It returns the bytes discarded (0 when the log already
+// ends on a unit boundary).
+func (l *Log) TruncateTail() (int64, error) {
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.f == nil {
+		return 0, ErrClosed
+	}
+	l.gcAcquire()
+	n, err := l.truncateTailLocked()
+	l.gcRelease(l.LastSeq(), err)
+	return n, err
+}
+
+func (l *Log) truncateTailLocked() (int64, error) {
+	if err := l.Sync(); err != nil {
+		return 0, err
+	}
+	data, err := l.fs.ReadFile(l.path)
+	if err != nil {
+		return 0, err
+	}
+	end := LastUnitBoundary(data)
+	if end < 0 {
+		return 0, fmt.Errorf("%w: bad header at truncate", ErrCorrupt)
+	}
+	discarded := int64(len(data)) - end
+	if discarded == 0 {
+		return 0, nil
+	}
+	if err := l.resetFile(l.epoch, data[headerLen:end]); err != nil {
+		return 0, fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		l.err = err
+		return 0, err
+	}
+	f, err := l.fs.OpenAppend(l.path)
+	if err != nil {
+		l.err = err
+		return 0, err
+	}
+	l.f = f
+	l.dirty = false
+	l.nextTxn = maxTxnID(data[:end])
+	l.setPosition(l.epoch, end)
+	return discarded, nil
 }
 
 // Epoch returns the live log epoch.
@@ -849,11 +1056,17 @@ func applyRecord(payload []byte, pending map[uint64]*Txn, order *[]uint64, txns 
 // maxTxnID scans valid records for the highest transaction id, so a
 // reopened log continues numbering without collisions.
 func maxTxnID(data []byte) uint64 {
-	var maxID uint64
 	if len(data) < headerLen {
 		return 0
 	}
-	pos := headerLen
+	return maxTxnIDRecords(data[headerLen:])
+}
+
+// maxTxnIDRecords is maxTxnID over headerless record bytes (a shipped
+// chunk).
+func maxTxnIDRecords(data []byte) uint64 {
+	var maxID uint64
+	pos := 0
 	for len(data)-pos >= 8 {
 		n := binary.BigEndian.Uint32(data[pos:])
 		if n > maxRecord || len(data)-pos-8 < int(n) {
@@ -869,4 +1082,77 @@ func maxTxnID(data []byte) uint64 {
 		pos += 8 + int(n)
 	}
 	return maxID
+}
+
+// LastUnitBoundary returns the byte offset just past the last record
+// that completes a committed unit (a commit or batch record) in a full
+// log image — the offset promotion truncates to. A log with a valid
+// header but no complete unit yields the header length; a bad header
+// yields -1.
+func LastUnitBoundary(data []byte) int64 {
+	if len(data) < headerLen || string(data[:len(Magic)]) != Magic {
+		return -1
+	}
+	end := int64(headerLen)
+	pos := headerLen
+	for len(data)-pos >= 8 {
+		n := binary.BigEndian.Uint32(data[pos:])
+		if n > maxRecord || len(data)-pos-8 < int(n) {
+			break
+		}
+		payload := data[pos+8 : pos+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(data[pos+4:]) {
+			break
+		}
+		pos += 8 + int(n)
+		if len(payload) > 0 && (payload[0] == recCommit || payload[0] == recBatch) {
+			end = int64(pos)
+		}
+	}
+	return end
+}
+
+// HeaderLen is the log header size in bytes — where record framing
+// starts in a raw log image. Exported (as an int64, matching log
+// offsets) for the replication feed, whose byte offsets are positions
+// in that image.
+const HeaderLen = int64(headerLen)
+
+// ValidPrefix returns the offset just past the last complete,
+// checksum-valid record in a raw log image — the shippable prefix: a
+// torn or still-being-written tail record is excluded, but records of
+// a not-yet-committed unit are included (the stream scanner on the
+// other end holds them pending). A bad header yields -1.
+func ValidPrefix(data []byte) int64 {
+	if len(data) < headerLen || string(data[:len(Magic)]) != Magic {
+		return -1
+	}
+	pos := headerLen
+	for len(data)-pos >= 8 {
+		n := binary.BigEndian.Uint32(data[pos:])
+		if n > maxRecord || len(data)-pos-8 < int(n) {
+			break
+		}
+		if crc32.ChecksumIEEE(data[pos+8:pos+8+int(n)]) != binary.BigEndian.Uint32(data[pos+4:]) {
+			break
+		}
+		pos += 8 + int(n)
+	}
+	return int64(pos)
+}
+
+// LogEpoch reads the epoch stamped in a raw log image's header, or
+// false on a short or foreign image.
+func LogEpoch(data []byte) (uint64, bool) {
+	if len(data) < headerLen || string(data[:len(Magic)]) != Magic {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(data[len(Magic):headerLen]), true
+}
+
+// ReadCheckpoint reads a checkpoint file: its epoch header and dump
+// bytes. exists is false (with a nil error) when no checkpoint file is
+// present. Exported for the replication feed's bootstrap path.
+func ReadCheckpoint(fs fsx.FS, path string) (epoch uint64, dump []byte, exists bool, err error) {
+	return readCheckpoint(fs, path)
 }

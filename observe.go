@@ -191,9 +191,27 @@ type ServerStats struct {
 	Admitted     int64 // requests admitted past admission control
 	Rejected     int64 // requests shed with 429 (queue full)
 	Drained      int64 // in-flight requests finished during drain
+	QueueClients int64 // high-water distinct clients waiting in the fair queue
 	GroupCommits int64 // group fsyncs, each covering ≥1 waiting commit
 	GroupWaiters int64 // commits whose durability rode a group fsync
 	ReadOnly     int64 // 1 after a WAL failure flipped the system read-only
+}
+
+// ReplicationStats counts WAL log-shipping operations — the apply side
+// on a replica, the feed side on a primary (internal/replica; see
+// docs/REPLICATION.md).
+type ReplicationStats struct {
+	TxnsApplied  int64 // committed units applied from the feed
+	OpsApplied   int64 // WM operations those units carried
+	Bytes        int64 // raw WAL bytes mirrored into the local log
+	Snapshots    int64 // bootstrap snapshots restored
+	EpochFollows int64 // primary checkpoints mirrored locally
+	Reconnects   int64 // feed connections (re)established
+	LagBytes     int64 // gauge: bytes behind the primary at last heartbeat
+	FeedsServed  int64 // feed connections served (primary side)
+	FeedFrames   int64 // frames shipped to replicas (primary side)
+	Promotions   int64 // replica→primary promotions completed
+	FencedWrites int64 // writes rejected by stale-epoch fencing
 }
 
 // ShardStats counts parallel match-scheduler operations (the sharded
@@ -239,16 +257,17 @@ func (p PlannerStats) CacheHitRate() float64 {
 // counters, grouped by subsystem. Counters holds every raw counter by
 // name, including any not covered by the typed sections.
 type Snapshot struct {
-	Storage    StorageStats
-	Match      MatchStats
-	Planner    PlannerStats
-	Execution  ExecutionStats
-	Batch      BatchStats
-	Durability DurabilityStats
-	Server     ServerStats
-	Shard      ShardStats
-	Integrity  IntegrityStats
-	Counters   map[string]int64
+	Storage     StorageStats
+	Match       MatchStats
+	Planner     PlannerStats
+	Execution   ExecutionStats
+	Batch       BatchStats
+	Durability  DurabilityStats
+	Server      ServerStats
+	Replication ReplicationStats
+	Shard       ShardStats
+	Integrity   IntegrityStats
+	Counters    map[string]int64
 }
 
 // Metrics snapshots the operation counters accumulated so far, plus the
@@ -346,9 +365,23 @@ func newSnapshot(m map[string]int64) Snapshot {
 			Admitted:     m["server_admitted"],
 			Rejected:     m["server_rejected"],
 			Drained:      m["server_drained"],
+			QueueClients: m["server_queue_clients"],
 			GroupCommits: m["wal_group_commits"],
 			GroupWaiters: m["wal_group_waiters"],
 			ReadOnly:     m["read_only"],
+		},
+		Replication: ReplicationStats{
+			TxnsApplied:  m["replica_txns_applied"],
+			OpsApplied:   m["replica_ops_applied"],
+			Bytes:        m["replica_bytes"],
+			Snapshots:    m["replica_snapshots"],
+			EpochFollows: m["replica_epoch_follows"],
+			Reconnects:   m["replica_reconnects"],
+			LagBytes:     m["replica_lag_bytes"],
+			FeedsServed:  m["feeds_served"],
+			FeedFrames:   m["feed_frames"],
+			Promotions:   m["promotions"],
+			FencedWrites: m["fenced_writes"],
 		},
 		Shard: ShardStats{
 			Shards:         m["shards"],
@@ -417,6 +450,10 @@ func (sn Snapshot) String() string {
 	if sv := sn.Server; sv.Admitted|sv.Rejected|sv.Drained|sv.GroupCommits|sv.GroupWaiters|sv.ReadOnly != 0 {
 		fmt.Fprintf(&b, "server admitted=%d rejected=%d drained=%d group_commits=%d group_waiters=%d read_only=%d\n",
 			sv.Admitted, sv.Rejected, sv.Drained, sv.GroupCommits, sv.GroupWaiters, sv.ReadOnly)
+	}
+	if rp := sn.Replication; rp.TxnsApplied|rp.Bytes|rp.Snapshots|rp.FeedsServed|rp.Promotions|rp.FencedWrites != 0 {
+		fmt.Fprintf(&b, "replication txns=%d ops=%d bytes=%d snapshots=%d lag_bytes=%d feeds=%d frames=%d promotions=%d fenced=%d\n",
+			rp.TxnsApplied, rp.OpsApplied, rp.Bytes, rp.Snapshots, rp.LagBytes, rp.FeedsServed, rp.FeedFrames, rp.Promotions, rp.FencedWrites)
 	}
 	if sh := sn.Shard; sh.Shards|sh.Maintains|sh.Steals|sh.CrossShardTxns|sh.Rebalances != 0 {
 		fmt.Fprintf(&b, "shard shards=%d maintains=%d steals=%d cross_shard_txns=%d rebalances=%d\n",

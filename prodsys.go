@@ -252,6 +252,15 @@ type Options struct {
 	// fault-injection hook used by the crash-recovery tests. nil means
 	// the real filesystem.
 	WALFS fsx.FS
+
+	// ReplicaOf starts the system as a warm replica of the primary at
+	// this base URL (e.g. "http://primary:7480"): the program's initial
+	// facts are NOT loaded, writes fail with ErrReplica, and state
+	// arrives solely through the replication apply surface
+	// (internal/replica tails the primary's GET /v1/wal feed). Promotion
+	// (System.Promote) flips the system writable. Empty means a normal
+	// primary. See docs/REPLICATION.md.
+	ReplicaOf string
 }
 
 // Result summarizes a run.
@@ -287,6 +296,8 @@ type System struct {
 
 	wal      *wal.Log      // non-nil while durability is active
 	recovery *RecoveryInfo // what Load recovered; nil without a WAL
+
+	replicaOf string // primary base URL while in replica mode ("" = primary)
 
 	closeMu sync.Mutex // serializes Close against itself
 	closed  bool       // Close has run; later calls return nil
@@ -389,6 +400,14 @@ func Load(src string, opts Options) (*System, error) {
 	})
 	if err := sys.openWAL(opts); err != nil {
 		return nil, err
+	}
+	if opts.ReplicaOf != "" {
+		// Replica: working memory is the primary's, delivered over the
+		// feed — never the program's initial facts (a recovered local
+		// log is kept; the feed resumes from or re-bootstraps past it).
+		sys.replicaOf = opts.ReplicaOf
+		sys.eng.SetReplica(true)
+		return sys, nil
 	}
 	if sys.recovery == nil || !sys.recovery.Recovered {
 		// Fresh start: load the program's initial facts. With a WAL
